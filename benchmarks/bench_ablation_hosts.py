@@ -1,0 +1,53 @@
+"""Ablation: host-count scalability of the majority vote.
+
+Section 4.5: "As the host count increases, the majority-vote approach
+continues to suppress performance-degrading migrations and consistently
+outperforms prior designs."  This bench runs 2/4/8-host systems and checks
+PIPM keeps beating Native and the frequency baseline at every host count.
+"""
+
+from common import bench_scale, write_output
+from repro import SystemConfig, generate, make_scheme, simulate
+from repro.analysis.report import format_table
+
+HOST_COUNTS = [2, 4, 8]
+WORKLOADS = ["pr", "ycsb"]
+
+
+def _sweep():
+    rows = []
+    checks = []
+    for hosts in HOST_COUNTS:
+        cfg = SystemConfig.scaled(num_hosts=hosts)
+        for workload in WORKLOADS:
+            trace = generate(workload, num_hosts=hosts, scale=bench_scale())
+            native = simulate(trace, make_scheme("native"), cfg)
+            memtis = simulate(trace, make_scheme("memtis"), cfg)
+            pipm = simulate(trace, make_scheme("pipm"), cfg)
+            rows.append((
+                hosts, workload,
+                f"{memtis.speedup_over(native):.2f}x",
+                f"{pipm.speedup_over(native):.2f}x",
+                f"{pipm.local_hit_rate:.1%}",
+            ))
+            checks.append((
+                hosts, workload,
+                pipm.speedup_over(native), memtis.speedup_over(native),
+            ))
+    table = format_table(
+        "Ablation: scalability with host count",
+        ["hosts", "workload", "memtis", "pipm", "pipm local hits"],
+        rows,
+    )
+    return table, checks
+
+
+def test_ablation_host_scalability(benchmark):
+    table, checks = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    write_output("ablation_hosts", table)
+
+    for hosts, workload, pipm, memtis in checks:
+        assert pipm > 1.0, f"PIPM must beat Native at {hosts} hosts"
+        assert pipm > memtis, (
+            f"PIPM must beat Memtis at {hosts} hosts on {workload}"
+        )

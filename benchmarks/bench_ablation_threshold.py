@@ -1,0 +1,51 @@
+"""Ablation: PIPM majority-vote migration threshold.
+
+Section 5.1.4: the authors "observe similar performance with threshold
+ranging from 4 to 16" and default to 8.  This bench sweeps the threshold
+and checks that the performance plateau the paper reports exists — with a
+very low threshold, noisy promotions increase migrate-back/revocation
+churn; with a very high one, promotion starves.
+"""
+
+import dataclasses
+
+from common import SENSITIVITY_WORKLOADS, run_cached, write_output
+from repro import SystemConfig
+from repro.analysis.report import format_series, geomean
+
+THRESHOLDS = [2, 4, 8, 15]
+
+
+def _sweep():
+    series = {}
+    for workload in SENSITIVITY_WORKLOADS:
+        native = run_cached(workload, "native")
+        row = {}
+        for threshold in THRESHOLDS:
+            cfg = SystemConfig.scaled()
+            cfg = cfg.replace(pipm=dataclasses.replace(
+                cfg.pipm, migration_threshold=threshold
+            ))
+            result = run_cached(workload, "pipm", config=cfg,
+                                tag=f"thresh{threshold}")
+            row[f"t={threshold}"] = result.speedup_over(native)
+        series[workload] = row
+    return series
+
+
+def test_ablation_migration_threshold(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Ablation: PIPM speedup over Native vs majority-vote threshold",
+        series, mean_row="geomean",
+    )
+    write_output("ablation_threshold", table)
+
+    means = {t: geomean(v[f"t={t}"] for v in series.values())
+             for t in THRESHOLDS}
+    # The paper's plateau: thresholds 4-15 all deliver real speedups and
+    # stay within a modest band of each other.
+    assert means[4] > 1.05
+    assert means[8] > 1.05
+    assert abs(means[4] - means[8]) < 0.35
+    assert abs(means[8] - means[15]) < 0.35

@@ -1,0 +1,39 @@
+"""Fig. 5: percentage of harmful page migrations.
+
+Paper shape: Nomad 34% and Memtis 29% of migrations are harmful on average
+— they increase total execution time because other hosts' accesses to the
+migrated page become 4-hop non-cacheable.
+"""
+
+from common import bench_workloads, run_cached, write_output
+from repro.analysis.report import format_series, mean
+
+SCHEMES = ["nomad", "memtis", "hemem"]
+
+
+def _sweep():
+    series = {}
+    for workload in bench_workloads():
+        series[workload] = {
+            scheme: run_cached(workload, scheme).stats.get(
+                "harmful_fraction", 0.0
+            )
+            for scheme in SCHEMES
+        }
+    return series
+
+
+def test_fig05_harmful_migrations(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 5: Fraction of harmful page migrations", series,
+        fmt="{:.3f}", mean_row=None,
+    )
+    avg = {s: mean(v[s] for v in series.values()) for s in SCHEMES}
+    table += "\nmean: " + "  ".join(f"{k}={v:.1%}" for k, v in avg.items())
+    write_output("fig05_harmful", table)
+
+    # A substantial fraction of single-host-policy migrations is harmful in
+    # multi-host CXL-DSM (the paper's take-away #2: ~29-34%).
+    assert 0.05 < avg["nomad"] < 0.95
+    assert 0.05 < avg["memtis"] < 0.95

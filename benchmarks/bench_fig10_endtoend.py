@@ -1,0 +1,40 @@
+"""Fig. 10: end-to-end performance of every scheme, normalized to Native.
+
+Paper shape: PIPM 1.86x average (up to 2.54x) over Native CXL-DSM and
+0.73x of the Local-only ideal; Nomad/Memtis/HeMem marginal (down to 0.82x
+on some workloads); OS-skew +31.5%; HW-static +15.7%.
+"""
+
+from common import ALL_SCHEMES, bench_workloads, run_cached, write_output
+from repro.analysis.report import format_series, geomean
+
+
+def _sweep():
+    series = {}
+    for workload in bench_workloads():
+        native = run_cached(workload, "native")
+        series[workload] = {
+            scheme: run_cached(workload, scheme).speedup_over(native)
+            for scheme in ALL_SCHEMES
+            if scheme != "native"
+        }
+    return series
+
+
+def test_fig10_end_to_end(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 10: Speedup over Native CXL-DSM", series, mean_row="geomean",
+    )
+    write_output("fig10_endtoend", table)
+
+    pipm = geomean(v["pipm"] for v in series.values())
+    ideal = geomean(v["local-only"] for v in series.values())
+    kernel = geomean(
+        v[s] for v in series.values() for s in ("nomad", "memtis", "hemem")
+    )
+    # Shape assertions: who wins, roughly by what factor.
+    assert pipm > 1.1, f"PIPM should clearly beat Native (got {pipm:.2f})"
+    assert pipm > kernel, "PIPM must beat every single-host kernel scheme"
+    assert ideal > pipm, "Local-only is the upper bound"
+    assert max(v["pipm"] for v in series.values()) > 1.3

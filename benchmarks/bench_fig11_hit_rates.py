@@ -1,0 +1,42 @@
+"""Fig. 11: local memory hit rates.
+
+Paper shape: PIPM 56.1% average, far above Nomad 26.5%, Memtis 31.0%,
+HeMem 28.1%, HW-static 21.6%; OS-skew relatively high thanks to the PIPM
+policy.
+"""
+
+from common import ALL_SCHEMES, bench_workloads, run_cached, write_output
+from repro.analysis.report import format_series, mean
+
+
+def _sweep():
+    series = {}
+    for workload in bench_workloads():
+        series[workload] = {
+            scheme: run_cached(workload, scheme).local_hit_rate
+            for scheme in ALL_SCHEMES
+            if scheme not in ("native", "local-only")
+        }
+    return series
+
+
+def test_fig11_local_hit_rates(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 11: Local memory hit rate", series, fmt="{:.3f}",
+        mean_row=None,
+    )
+    avg = {
+        scheme: mean(v[scheme] for v in series.values())
+        for scheme in next(iter(series.values()))
+    }
+    table += "\nmean: " + "  ".join(
+        f"{k}={v:.1%}" for k, v in avg.items()
+    )
+    write_output("fig11_hit_rates", table)
+
+    assert avg["pipm"] > avg["nomad"]
+    assert avg["pipm"] > avg["memtis"]
+    assert avg["pipm"] > avg["hemem"]
+    assert avg["pipm"] > avg["hw-static"]
+    assert avg["pipm"] > 0.25

@@ -1,0 +1,47 @@
+"""Fig. 13: average per-host local memory footprint / total footprint.
+
+Paper shape: Nomad 7.4%, HeMem 6.0%, Memtis 5.2%, OS-skew 4.6% (page
+granularity); HW-static fixed 25% (static quarter); PIPM 7.3% at page
+granularity but only 5.5% of actual lines moved (PIPM-line < PIPM-page).
+"""
+
+from common import bench_workloads, run_cached, write_output
+from repro.analysis.report import format_series, mean
+
+SCHEMES = ["nomad", "memtis", "hemem", "os-skew", "hw-static"]
+
+
+def _sweep():
+    series = {}
+    for workload in bench_workloads():
+        row = {
+            scheme: run_cached(workload, scheme).local_page_footprint_fraction
+            for scheme in SCHEMES
+        }
+        pipm = run_cached(workload, "pipm")
+        row["pipm-page"] = pipm.local_page_footprint_fraction
+        row["pipm-line"] = pipm.local_line_footprint_fraction
+        series[workload] = row
+    return series
+
+
+def test_fig13_memory_footprint(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 13: Per-host local footprint / total footprint",
+        series, fmt="{:.4f}", mean_row=None,
+    )
+    avg = {
+        key: mean(v[key] for v in series.values())
+        for key in next(iter(series.values()))
+    }
+    table += "\nmean: " + "  ".join(f"{k}={v:.1%}" for k, v in avg.items())
+    write_output("fig13_footprint", table)
+
+    # Incremental migration moves fewer lines than it maps pages.
+    assert avg["pipm-line"] <= avg["pipm-page"] + 1e-9
+    # The kernel schemes' resident sets are a small footprint fraction.
+    for scheme in ("nomad", "memtis", "hemem", "os-skew"):
+        assert avg[scheme] < 0.20
+    # HW-static statically maps (up to) a quarter per host.
+    assert avg["hw-static"] <= 0.30

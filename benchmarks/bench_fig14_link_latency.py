@@ -1,0 +1,43 @@
+"""Fig. 14: PIPM speedup over Native under different CXL link latencies.
+
+Paper shape: at 100ns per direction (a switched fabric) PIPM's relative
+improvement grows by an extra 55.7% on average versus the 50ns baseline —
+local memory matters more when remote memory is slower.
+"""
+
+from common import SENSITIVITY_WORKLOADS, run_cached, write_output
+from repro import SystemConfig
+from repro.analysis.report import format_series, geomean
+
+LATENCIES_NS = [25.0, 50.0, 100.0]
+
+
+def _sweep():
+    series = {}
+    for workload in SENSITIVITY_WORKLOADS:
+        row = {}
+        for latency in LATENCIES_NS:
+            cfg = SystemConfig.scaled().replace_nested(
+                "cxl_link", latency_ns=latency
+            )
+            tag = f"lat{latency:g}"
+            native = run_cached(workload, "native", config=cfg, tag=tag)
+            pipm = run_cached(workload, "pipm", config=cfg, tag=tag)
+            row[f"{latency:g}ns"] = pipm.speedup_over(native)
+        series[workload] = row
+    return series
+
+
+def test_fig14_link_latency(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 14: PIPM speedup over Native vs CXL link latency",
+        series, mean_row="geomean",
+    )
+    write_output("fig14_link_latency", table)
+
+    base = geomean(v["50ns"] for v in series.values())
+    slow = geomean(v["100ns"] for v in series.values())
+    fast = geomean(v["25ns"] for v in series.values())
+    # Higher link latency -> bigger PIPM advantage (and vice versa).
+    assert slow > base > fast

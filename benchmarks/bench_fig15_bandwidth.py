@@ -1,0 +1,47 @@
+"""Fig. 15: PIPM speedup over Native under different CXL link bandwidths.
+
+Paper shape: with half the lanes (x8, 2.5 GB/s effective) applications
+become bandwidth- and latency-bound and PIPM's relative gain grows (+48.4%
+over the x16 result); with double the lanes (x32) PIPM retains ~97.9% of
+its x16 advantage because most workloads stay latency-bound.
+"""
+
+from common import SENSITIVITY_WORKLOADS, run_cached, write_output
+from repro import SystemConfig
+from repro.analysis.report import format_series, geomean
+
+#: effective per-direction GB/s for x8 / x16 / x32 CXL lanes (scaled).
+BANDWIDTHS = {"x8": 2.5, "x16": 5.0, "x32": 10.0}
+
+
+def _sweep():
+    series = {}
+    for workload in SENSITIVITY_WORKLOADS:
+        row = {}
+        for label, gbs in BANDWIDTHS.items():
+            cfg = SystemConfig.scaled().replace_nested(
+                "cxl_link", bandwidth_gbs=gbs
+            )
+            tag = f"bw{label}"
+            native = run_cached(workload, "native", config=cfg, tag=tag)
+            pipm = run_cached(workload, "pipm", config=cfg, tag=tag)
+            row[label] = pipm.speedup_over(native)
+        series[workload] = row
+    return series
+
+
+def test_fig15_link_bandwidth(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series(
+        "Fig. 15: PIPM speedup over Native vs CXL link bandwidth",
+        series, mean_row="geomean",
+    )
+    write_output("fig15_bandwidth", table)
+
+    x8 = geomean(v["x8"] for v in series.values())
+    x16 = geomean(v["x16"] for v in series.values())
+    x32 = geomean(v["x32"] for v in series.values())
+    # Narrower links -> larger gains; doubling lanes keeps most of the gain
+    # (latency-bound workloads).
+    assert x8 >= x16 * 0.98
+    assert x32 > (x16 - 1.0) * 0.5 + 1.0 or x32 > 1.0

@@ -1,0 +1,23 @@
+"""Table 2: system configuration — paper values and the scaled analogue."""
+
+from common import write_output
+from repro import SystemConfig
+from repro.analysis.report import format_table
+
+
+def _build_table() -> str:
+    paper = SystemConfig.paper().describe()
+    scaled = SystemConfig.scaled().describe()
+    rows = [(key, paper[key], scaled[key]) for key in paper]
+    return format_table(
+        "Table 2: System configuration (paper vs scaled simulation)",
+        ["component", "paper", "scaled"],
+        rows,
+    )
+
+
+def test_table2_config(benchmark):
+    table = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    write_output("table2_config", table)
+    assert "50ns" in table
+    assert "5GB/s" in table

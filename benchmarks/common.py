@@ -1,0 +1,184 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Simulation results are memoized in a
+JSON cache keyed by (workload, scheme, scale, config tag) so figures that
+share runs (Figs. 10-13 all need the Fig. 10 sweep) don't recompute them;
+delete ``benchmarks/.bench_cache.json`` to force fresh runs.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — ``tiny`` / ``small`` / ``default`` / ``large``
+  (default ``small``): trace size per run.
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset override.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import SystemConfig, WorkloadScale, generate, simulate
+from repro.policies import make_scheme
+from repro.sim.results import SimulationResult
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+CACHE_PATH = BENCH_DIR / ".bench_cache.json"
+
+#: The paper's Fig. 10 scheme order (Native first: the normalization base).
+ALL_SCHEMES = [
+    "native", "nomad", "memtis", "hemem", "os-skew", "hw-static", "pipm",
+    "local-only",
+]
+
+#: Subset used by the sensitivity figures (Figs. 14-17) to bound runtime.
+SENSITIVITY_WORKLOADS = ["pr", "bfs", "xsbench", "streamcluster", "ycsb",
+                         "tpcc"]
+
+_SCALES = {
+    "tiny": WorkloadScale.tiny,
+    "small": WorkloadScale.small,
+    "default": WorkloadScale.default,
+    "large": WorkloadScale.large,
+}
+
+
+def bench_scale_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return name
+
+
+def bench_scale() -> WorkloadScale:
+    return _SCALES[bench_scale_name()]()
+
+
+def bench_workloads() -> List[str]:
+    override = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if override:
+        return [w.strip() for w in override.split(",") if w.strip()]
+    from repro import workload_names
+
+    return workload_names()
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+_RESULT_FIELDS = (
+    "workload", "scheme", "num_hosts", "exec_time_ns", "host_time_ns",
+    "instructions", "accesses", "mgmt_ns", "transfer_ns", "migrations",
+    "demotions", "footprint_bytes",
+)
+
+
+def _to_record(result: SimulationResult) -> Dict:
+    record = {field: getattr(result, field) for field in _RESULT_FIELDS}
+    record["service_counts"] = {
+        str(k): v for k, v in result.service_counts.items()
+    }
+    record["stall_ns_by_service"] = {
+        str(k): v for k, v in result.stall_ns_by_service.items()
+    }
+    record["peak_local_pages"] = {
+        str(k): v for k, v in result.peak_local_pages.items()
+    }
+    record["peak_local_lines"] = {
+        str(k): v for k, v in result.peak_local_lines.items()
+    }
+    record["stats"] = result.stats
+    return record
+
+
+def _from_record(record: Dict) -> SimulationResult:
+    kwargs = {field: record[field] for field in _RESULT_FIELDS}
+    kwargs["service_counts"] = {
+        int(k): v for k, v in record["service_counts"].items()
+    }
+    kwargs["stall_ns_by_service"] = {
+        int(k): v for k, v in record["stall_ns_by_service"].items()
+    }
+    kwargs["peak_local_pages"] = {
+        int(k): v for k, v in record["peak_local_pages"].items()
+    }
+    kwargs["peak_local_lines"] = {
+        int(k): v for k, v in record["peak_local_lines"].items()
+    }
+    kwargs["stats"] = record["stats"]
+    return SimulationResult(**kwargs)
+
+
+class ResultCache:
+    """Disk-backed memo of simulation results."""
+
+    def __init__(self, path: Path = CACHE_PATH) -> None:
+        self.path = path
+        self._data: Dict[str, Dict] = {}
+        if path.exists():
+            try:
+                self._data = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                self._data = {}
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        record = self._data.get(key)
+        return _from_record(record) if record is not None else None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        self._data[key] = _to_record(result)
+        self.path.write_text(json.dumps(self._data))
+
+
+_CACHE = ResultCache()
+_TRACE_CACHE: Dict[str, object] = {}
+
+
+def _trace(workload: str, config: SystemConfig, scale: WorkloadScale):
+    key = f"{workload}|{scale.accesses_per_host}|{scale.footprint_bytes}"
+    key += f"|{config.num_hosts}"
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate(
+            workload, num_hosts=config.num_hosts, scale=scale,
+            cores_per_host=config.cores_per_host,
+        )
+    return _TRACE_CACHE[key]
+
+
+def run_cached(
+    workload: str,
+    scheme: str,
+    config: Optional[SystemConfig] = None,
+    tag: str = "base",
+    scheme_kwargs: Optional[Dict] = None,
+    **system_kwargs,
+) -> SimulationResult:
+    """Simulate (or fetch) one (workload, scheme, config-tag) result.
+
+    ``tag`` must uniquely name any config/scheme deviation from the scaled
+    defaults; results are memoized across bench modules under that key.
+    """
+    if config is None:
+        config = SystemConfig.scaled()
+    scale = bench_scale()
+    key = f"{workload}|{scheme}|{bench_scale_name()}|{tag}"
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    trace = _trace(workload, config, scale)
+    instance = make_scheme(scheme, **(scheme_kwargs or {}))
+    result = simulate(trace, instance, config, **system_kwargs)
+    _CACHE.put(key, result)
+    return result
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist a bench's table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

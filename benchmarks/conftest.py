@@ -1,0 +1,6 @@
+"""Benchmark collection config: make `common` importable from this dir."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

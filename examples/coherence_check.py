@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Model-check the PIPM coherence protocol (the paper's Murphi step).
+
+Section 5.1.4: the authors verify with Murphi that PIPM coherence is
+deadlock-free and preserves the Single-Writer-Multiple-Reader invariant
+and Sequential Consistency.  This example runs the repository's built-in
+explicit-state checker over both the baseline CXL-DSM MSI protocol and the
+PIPM protocol (with every choice of remap host), for 2- and 3-host
+configurations, and prints state-space statistics.
+
+Run:  python examples/coherence_check.py
+"""
+
+from repro.coherence import (
+    BaseCxlDsmModel,
+    ModelChecker,
+    PipmModel,
+    verify_sequential_consistency,
+)
+
+
+def main() -> None:
+    print("Verifying SWMR + data-value integrity + no stuck states")
+    print("(atomic-transaction analogue of the paper's Murphi run)\n")
+
+    failures = 0
+    for hosts in (2, 3):
+        result = ModelChecker(BaseCxlDsmModel(hosts)).run()
+        print(f"baseline MSI, {hosts} hosts: {result.summary()}")
+        failures += len(result.violations)
+
+    for hosts in (2, 3):
+        for remap_host in range(hosts):
+            model = PipmModel(hosts, remap_host=remap_host)
+            result = ModelChecker(model).run()
+            print(f"PIPM, {hosts} hosts, remap host {remap_host}: "
+                  f"{result.summary()}")
+            for violation in result.violations:
+                print(f"  !! {violation}")
+            failures += len(result.violations)
+
+    print()
+    print("Litmus tests (MP / SB / CoRR over two lines, all interleavings):")
+    for config, counts in verify_sequential_consistency(2).items():
+        print(f"  {config}: " + ", ".join(
+            f"{name} ok ({n} interleavings)" for name, n in counts.items()
+        ))
+
+    print()
+    if failures:
+        raise SystemExit(f"FAILED: {failures} violations found")
+    print("All protocol configurations verified: no SWMR violations, every")
+    print("load observed the latest store, no reachable state is stuck, and")
+    print("no SC-forbidden litmus outcome is reachable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Build your own workload: sharing-structure knobs and what they cost.
+
+Downstream users adopting a multi-host CXL-DSM placement policy usually
+want to know how *their* sharing mix behaves.  This example sweeps the
+``own_fraction`` / ``shared_fraction`` knobs of
+:class:`repro.workloads.synthetic.SyntheticSpec` and shows where each
+scheme's break-even point lies, then runs the distilled dominant/minority
+sub-page split pattern where partial migration wins by design.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import SystemConfig, WorkloadScale, make_scheme, simulate
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    partitioned_split_trace,
+    synthetic_trace,
+)
+
+SCHEMES = ("memtis", "pipm")
+
+
+def run(trace, cfg):
+    native = simulate(trace, make_scheme("native"), cfg)
+    row = {}
+    for scheme in SCHEMES:
+        result = simulate(trace, make_scheme(scheme), cfg)
+        row[scheme] = result.speedup_over(native)
+    return row
+
+
+def main() -> None:
+    cfg = SystemConfig.scaled()
+    scale = WorkloadScale.small()
+
+    print("Sweep: host-affine vs globally-contested traffic mix")
+    print(f"{'own':>5} {'shared':>7} | " +
+          "  ".join(f"{s:>7}" for s in SCHEMES))
+    for own, shared in ((0.8, 0.1), (0.6, 0.3), (0.4, 0.5), (0.2, 0.7)):
+        spec = SyntheticSpec(own_fraction=own, shared_fraction=shared,
+                             sequential_own=True)
+        trace = synthetic_trace(spec, scale=scale)
+        row = run(trace, cfg)
+        print(f"{own:>5.0%} {shared:>7.0%} | " +
+              "  ".join(f"{row[s]:>6.2f}x" for s in SCHEMES))
+
+    print("\nDominant/minority sub-page split (the paper's thesis case):")
+    trace = partitioned_split_trace(scale=scale)
+    row = run(trace, cfg)
+    for scheme in SCHEMES:
+        print(f"  {scheme:<8}: {row[scheme]:.2f}x over native")
+    print("\nAs contested traffic grows, whole-page migration flips from")
+    print("helpful to harmful while PIPM degrades gracefully — the vote")
+    print("simply stops migrating, and sub-page splits still pay off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Sensitivity sweep: how CXL fabric parameters move PIPM's advantage.
+
+Reproduces the direction of Figs. 14 and 15 interactively: sweep the CXL
+link latency (direct-attach vs switched fabric) and per-direction bandwidth
+(x8/x16/x32 lanes) and report PIPM's speedup over Native for one workload.
+
+Run:  python examples/sensitivity_sweep.py [--workload pr]
+"""
+
+import argparse
+
+from repro import SystemConfig, WorkloadScale, generate, make_scheme, simulate
+
+
+def run_pair(trace, config):
+    native = simulate(trace, make_scheme("native"), config)
+    pipm = simulate(trace, make_scheme("pipm"), config)
+    return pipm.speedup_over(native)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="streamcluster")
+    args = parser.parse_args()
+
+    base = SystemConfig.scaled()
+    trace = generate(args.workload, scale=WorkloadScale.small())
+    print(f"workload: {args.workload} "
+          f"({trace.footprint_bytes >> 20} MB footprint)\n")
+
+    print("CXL link latency sweep (Fig. 14 direction):")
+    for latency in (25.0, 50.0, 100.0, 200.0):
+        cfg = base.replace_nested("cxl_link", latency_ns=latency)
+        speedup = run_pair(trace, cfg)
+        bar = "#" * int(speedup * 20)
+        print(f"  {latency:6.0f} ns/direction : {speedup:5.2f}x  {bar}")
+
+    print("\nCXL link bandwidth sweep (Fig. 15 direction):")
+    for label, gbs in (("x8", 2.5), ("x16", 5.0), ("x32", 10.0)):
+        cfg = base.replace_nested("cxl_link", bandwidth_gbs=gbs)
+        speedup = run_pair(trace, cfg)
+        bar = "#" * int(speedup * 20)
+        print(f"  {label:>4} ({gbs:4.1f} GB/s)   : {speedup:5.2f}x  {bar}")
+
+    print("\nSlower fabrics make local placement more valuable; PIPM's")
+    print("advantage grows with link latency and shrinking bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

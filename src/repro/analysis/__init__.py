@@ -1,0 +1,20 @@
+"""Analysis utilities: harmful-migration ledger, breakdowns, report tables."""
+
+from .harmful import MigrationLedger, reference_latencies
+from .breakdown import interval_breakdown
+from .report import (
+    Table,
+    format_table,
+    geomean,
+    mean,
+)
+
+__all__ = [
+    "MigrationLedger",
+    "reference_latencies",
+    "interval_breakdown",
+    "Table",
+    "format_table",
+    "geomean",
+    "mean",
+]

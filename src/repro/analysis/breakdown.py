@@ -1,0 +1,40 @@
+"""Execution-time breakdown across migration intervals (Fig. 4).
+
+For a given kernel migration scheme and workload, runs the scheme at each
+interval and decomposes its (native-normalized) execution time into
+*page transfer*, *management*, and *other* — the paper's three stacked
+components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..config import SystemConfig
+from ..workloads.trace import WorkloadTrace
+
+
+def interval_breakdown(
+    trace: WorkloadTrace,
+    scheme_name: str,
+    intervals_ns: Iterable[float],
+    config: Optional[SystemConfig] = None,
+    native_exec_ns: Optional[float] = None,
+) -> Dict[float, Dict[str, float]]:
+    """``{interval: {other, management, transfer, total}}``, native-normalized."""
+    # Imported here: repro.sim.system needs repro.analysis.harmful, so the
+    # package-level import would be circular.
+    from ..policies import make_scheme
+    from ..sim.harness import run_experiment
+
+    if config is None:
+        config = SystemConfig.scaled()
+    if native_exec_ns is None:
+        native = run_experiment(trace, "native", config)
+        native_exec_ns = native.exec_time_ns
+    out: Dict[float, Dict[str, float]] = {}
+    for interval in intervals_ns:
+        scheme = make_scheme(scheme_name, interval_ns=interval)
+        result = run_experiment(trace, scheme, config)
+        out[interval] = result.breakdown_vs(native_exec_ns)
+    return out

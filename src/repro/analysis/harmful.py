@@ -1,0 +1,113 @@
+"""Harmful-migration accounting (Fig. 5).
+
+The paper defines a page migration as *harmful* if it increases overall
+execution time: after migrating a page to one host's local memory, that
+host's accesses get faster (local vs CXL) but every other host's accesses
+get slower (4-hop non-cacheable vs 2-hop cacheable CXL).  The ledger
+tracks, per live migration, the accumulated benefit and harm against
+reference latencies derived from the system configuration, plus the
+migration's own cost, and classifies it when the page is demoted (or at
+the end of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .. import units
+from ..config import SystemConfig
+
+
+def reference_latencies(config: SystemConfig) -> Tuple[float, float, float]:
+    """(local, cxl, inter-host) expected DRAM-level service latencies in ns."""
+    local = (
+        config.local_dir_latency_ns
+        + config.local_dram.row_miss_ns
+        + units.transfer_ns(
+            units.CACHE_LINE, config.local_dram.bandwidth_gbs_per_channel
+        )
+    )
+    link_rt = 2 * config.cxl_link.latency_ns + units.transfer_ns(
+        units.CACHE_LINE + 16, config.cxl_link.bandwidth_gbs
+    )
+    cxl = (
+        link_rt
+        + config.directory.latency_ns
+        + config.cxl_dram.row_miss_ns
+        + units.transfer_ns(
+            units.CACHE_LINE, config.cxl_dram.bandwidth_gbs_per_channel
+        )
+    )
+    inter_host = 2 * link_rt + config.directory.latency_ns + local
+    return local, cxl, inter_host
+
+
+@dataclass
+class _MigRecord:
+    dest: int
+    benefit_ns: float = 0.0
+    harm_ns: float = 0.0
+
+
+class MigrationLedger:
+    """Per-migration benefit/harm books for the kernel schemes."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        local, cxl, inter = reference_latencies(config)
+        #: per-access latency saved by the destination host
+        self.benefit_per_local = max(cxl - local, 0.0)
+        #: per-access latency added for every other host
+        self.harm_per_remote = max(inter - cxl, 0.0)
+        #: fixed cost charged to each migration (kernel path + transfer)
+        self.cost_per_migration_ns = (
+            config.kernel.initiator_cost_ns
+            + units.transfer_ns(units.PAGE_SIZE, config.cxl_link.bandwidth_gbs)
+        )
+        self._live: Dict[int, _MigRecord] = {}
+        self.total_migrations = 0
+        self.harmful_migrations = 0
+        self.total_benefit_ns = 0.0
+        self.total_harm_ns = 0.0
+
+    # -- events ----------------------------------------------------------
+    def record_migration(self, page: int, dest: int) -> None:
+        # A page re-migrated before demotion finalizes the previous record.
+        if page in self._live:
+            self._finalize(page)
+        self._live[page] = _MigRecord(dest)
+        self.total_migrations += 1
+
+    def record_local_access(self, page: int) -> None:
+        record = self._live.get(page)
+        if record is not None:
+            record.benefit_ns += self.benefit_per_local
+
+    def record_remote_access(self, page: int) -> None:
+        record = self._live.get(page)
+        if record is not None:
+            record.harm_ns += self.harm_per_remote
+
+    def record_demotion(self, page: int) -> None:
+        if page in self._live:
+            self._finalize(page)
+
+    def finalize(self) -> None:
+        """Classify every still-live migration (end of run)."""
+        for page in list(self._live):
+            self._finalize(page)
+
+    def _finalize(self, page: int) -> None:
+        record = self._live.pop(page)
+        total_harm = record.harm_ns + self.cost_per_migration_ns
+        self.total_benefit_ns += record.benefit_ns
+        self.total_harm_ns += total_harm
+        if total_harm > record.benefit_ns:
+            self.harmful_migrations += 1
+
+    # -- reporting (Fig. 5) ------------------------------------------------
+    @property
+    def harmful_fraction(self) -> float:
+        if not self.total_migrations:
+            return 0.0
+        return self.harmful_migrations / self.total_migrations

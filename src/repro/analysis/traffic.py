@@ -1,0 +1,111 @@
+"""Interconnect and DRAM traffic accounting.
+
+The system model records per-component byte/message counters in its
+:class:`~repro.stats.StatRegistry` (per-host CXL links, per-channel DRAM,
+CXL-node DRAM).  This module turns a registry snapshot into a traffic
+report: totals, per-link breakdowns, and achieved-bandwidth estimates —
+the numbers one needs to sanity-check bandwidth-sensitivity results
+(Fig. 15) or to find a saturated link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from .. import units
+from .report import format_table
+
+
+@dataclass
+class LinkTraffic:
+    """Bytes/messages over one host's CXL link (both directions summed)."""
+
+    host: int
+    bytes: float = 0.0
+    messages: float = 0.0
+    queue_ns: float = 0.0
+
+    @property
+    def mean_message_bytes(self) -> float:
+        return self.bytes / self.messages if self.messages else 0.0
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated traffic view of one simulation run."""
+
+    exec_time_ns: float
+    links: Dict[int, LinkTraffic] = field(default_factory=dict)
+    cxl_dram_bytes: float = 0.0
+    local_dram_bytes: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_link_bytes(self) -> float:
+        return sum(link.bytes for link in self.links.values())
+
+    def link_bandwidth_gbs(self, host: int) -> float:
+        """Achieved (not offered) bandwidth over the run window."""
+        if self.exec_time_ns <= 0:
+            return 0.0
+        link = self.links.get(host)
+        if link is None:
+            return 0.0
+        return link.bytes / units.GB / (self.exec_time_ns / 1e9)
+
+    def busiest_link(self) -> int:
+        if not self.links:
+            raise ValueError("no link traffic recorded")
+        return max(self.links, key=lambda h: self.links[h].bytes)
+
+    def render(self) -> str:
+        rows = []
+        for host in sorted(self.links):
+            link = self.links[host]
+            rows.append((
+                f"host{host}",
+                units.pretty_size(int(link.bytes)),
+                int(link.messages),
+                f"{self.link_bandwidth_gbs(host):.2f}GB/s",
+                units.pretty_size(int(self.local_dram_bytes.get(host, 0))),
+            ))
+        rows.append((
+            "cxl-dram", units.pretty_size(int(self.cxl_dram_bytes)), "-",
+            "-", "-",
+        ))
+        return format_table(
+            "Traffic report",
+            ["component", "link bytes", "messages", "achieved bw",
+             "local DRAM bytes"],
+            rows,
+        )
+
+
+def traffic_report(
+    stats: Mapping[str, float], exec_time_ns: float, num_hosts: int
+) -> TrafficReport:
+    """Build a :class:`TrafficReport` from a registry snapshot.
+
+    ``stats`` is ``StatRegistry.snapshot()`` of the system the run used
+    (pass ``stats=StatRegistry()`` into :class:`MultiHostSystem` or read
+    ``system.stats``).
+    """
+    report = TrafficReport(exec_time_ns=exec_time_ns)
+    for host in range(num_hosts):
+        link = LinkTraffic(
+            host=host,
+            bytes=stats.get(f"link{host}.bytes", 0.0),
+            messages=stats.get(f"link{host}.messages", 0.0),
+            queue_ns=stats.get(f"link{host}.queue_ns", 0.0),
+        )
+        report.links[host] = link
+        local = 0.0
+        for key, value in stats.items():
+            if key.startswith(f"host{host}.local_mem.") and \
+                    key.endswith(".bytes"):
+                local += value
+        report.local_dram_bytes[host] = local
+    for key, value in stats.items():
+        if key.startswith("cxl_mem.") and key.endswith(".bytes"):
+            report.cxl_dram_bytes += value
+    return report

@@ -1,0 +1,16 @@
+"""Cache substrates: replacement policies, set-associative caches, directories."""
+
+from .replacement import LruPolicy, RandomPolicy, SrripPolicy, make_policy
+from .sa_cache import CacheEntry, SetAssocCache
+from .directory import DirectoryEntry, SlicedDirectory
+
+__all__ = [
+    "CacheEntry",
+    "SetAssocCache",
+    "DirectoryEntry",
+    "SlicedDirectory",
+    "LruPolicy",
+    "RandomPolicy",
+    "SrripPolicy",
+    "make_policy",
+]

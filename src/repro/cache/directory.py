@@ -1,0 +1,124 @@
+"""Sliced set-associative coherence directory.
+
+Models both the device coherence directory on the CXL memory node
+(2048 sets x 16 ways x 16 slices in Table 2) and, with a single slice,
+each host's local coherence directory.  Entries track the MESI-style state
+plus the sharer set; capacity evictions surface the victim so the owner
+can back-invalidate the corresponding cache lines (a real constraint the
+paper leans on: PIPM-migrated lines stop consuming device directory
+entries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class DirectoryEntry:
+    """Directory state for one tracked cache line."""
+
+    __slots__ = ("line", "state", "sharers", "owner", "stamp")
+
+    def __init__(self, line: int, state: object, owner: int = -1):
+        self.line = line
+        self.state = state
+        self.sharers: Set[int] = set()
+        self.owner = owner
+        self.stamp = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryEntry(line={self.line:#x}, state={self.state}, "
+            f"owner={self.owner}, sharers={sorted(self.sharers)})"
+        )
+
+
+class SlicedDirectory:
+    """A directory sharded into address-hashed slices of set-assoc arrays."""
+
+    def __init__(self, sets_per_slice: int, ways: int, slices: int = 1,
+                 name: str = "directory") -> None:
+        if sets_per_slice < 1 or ways < 1 or slices < 1:
+            raise ValueError(f"{name}: geometry must be positive")
+        if sets_per_slice & (sets_per_slice - 1):
+            raise ValueError(f"{name}: sets_per_slice must be a power of two")
+        self.sets_per_slice = sets_per_slice
+        self.ways = ways
+        self.slices = slices
+        self.name = name
+        self._mask = sets_per_slice - 1
+        self._arrays: List[List[Dict[int, DirectoryEntry]]] = [
+            [dict() for _ in range(sets_per_slice)] for _ in range(slices)
+        ]
+        self._tick = 0
+        self.lookups = 0
+        self.hits = 0
+        self.capacity_evictions = 0
+
+    def _set_for(self, line: int) -> Dict[int, DirectoryEntry]:
+        slice_idx = (line // self.sets_per_slice) % self.slices
+        return self._arrays[slice_idx][line & self._mask]
+
+    # -- operations -----------------------------------------------------
+    def lookup(self, line: int) -> Optional[DirectoryEntry]:
+        self.lookups += 1
+        entry = self._set_for(line).get(line)
+        if entry is not None:
+            self.hits += 1
+            self._tick += 1
+            entry.stamp = self._tick
+        return entry
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        return self._set_for(line).get(line)
+
+    def allocate(self, line: int, state: object, owner: int = -1
+                 ) -> "tuple[DirectoryEntry, Optional[DirectoryEntry]]":
+        """Allocate (or update) an entry; returns ``(entry, victim)``.
+
+        ``victim`` is a capacity-evicted entry the caller must
+        back-invalidate from the owning caches, or ``None``.
+        """
+        dir_set = self._set_for(line)
+        self._tick += 1
+        entry = dir_set.get(line)
+        if entry is not None:
+            entry.state = state
+            if owner >= 0:
+                entry.owner = owner
+            entry.stamp = self._tick
+            return entry, None
+        victim = None
+        if len(dir_set) >= self.ways:
+            victim = min(dir_set.values(), key=lambda e: e.stamp)
+            del dir_set[victim.line]
+            self.capacity_evictions += 1
+        entry = DirectoryEntry(line, state, owner)
+        entry.stamp = self._tick
+        dir_set[line] = entry
+        return entry, victim
+
+    def remove(self, line: int) -> Optional[DirectoryEntry]:
+        return self._set_for(line).pop(line, None)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return sum(
+            len(dir_set) for array in self._arrays for dir_set in array
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self.sets_per_slice * self.ways * self.slices
+
+    def entries(self):
+        for array in self._arrays:
+            for dir_set in array:
+                yield from dir_set.values()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlicedDirectory({self.name}, {self.slices}x{self.sets_per_slice}"
+            f"x{self.ways}, occupancy={self.occupancy})"
+        )

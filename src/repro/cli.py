@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       simulate one (workload, scheme) pair and print the summary
+``compare``   run several schemes on one workload, normalized to Native
+``check``     model-check the coherence protocols (the Murphi step)
+``workloads`` print the Table 1 inventory
+``config``    print the Table 2 system configuration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.report import format_table
+from .coherence import BaseCxlDsmModel, ModelChecker, PipmModel
+from .config import SystemConfig
+from .sim.harness import DEFAULT_SCHEMES, compare_schemes, run_experiment
+from .units import pretty_size, pretty_time
+from .workloads import WorkloadScale, workload_names
+from .workloads.registry import WORKLOADS
+
+_SCALES = ("tiny", "small", "default", "large")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PIPM multi-host CXL-DSM simulator (ASPLOS'26 repro)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload under one scheme")
+    run.add_argument("--workload", required=True, choices=workload_names())
+    run.add_argument("--scheme", default="pipm")
+    run.add_argument("--scale", default="small", choices=_SCALES)
+    run.add_argument("--hosts", type=int, default=4)
+    run.add_argument("--link-latency-ns", type=float, default=None)
+    run.add_argument("--link-bandwidth-gbs", type=float, default=None)
+
+    compare = sub.add_parser("compare", help="compare schemes on a workload")
+    compare.add_argument("--workload", required=True,
+                         choices=workload_names())
+    compare.add_argument("--schemes", default=",".join(DEFAULT_SCHEMES))
+    compare.add_argument("--scale", default="small", choices=_SCALES)
+    compare.add_argument("--hosts", type=int, default=4)
+
+    check = sub.add_parser("check", help="model-check the protocols")
+    check.add_argument("--hosts", type=int, default=3)
+
+    sub.add_parser("workloads", help="list the Table 1 workloads")
+    sub.add_parser("config", help="show the Table 2 configuration")
+    return parser
+
+
+def _config_for(args) -> SystemConfig:
+    cfg = SystemConfig.scaled(num_hosts=args.hosts)
+    if getattr(args, "link_latency_ns", None) is not None:
+        cfg = cfg.replace_nested("cxl_link", latency_ns=args.link_latency_ns)
+    if getattr(args, "link_bandwidth_gbs", None) is not None:
+        cfg = cfg.replace_nested(
+            "cxl_link", bandwidth_gbs=args.link_bandwidth_gbs
+        )
+    return cfg
+
+
+def _cmd_run(args) -> int:
+    cfg = _config_for(args)
+    scale = getattr(WorkloadScale, args.scale)()
+    result = run_experiment(args.workload, args.scheme, cfg, scale=scale)
+    print(result.summary())
+    print(f"  exec time        : {pretty_time(result.exec_time_ns)}")
+    print(f"  aggregate IPC    : {result.ipc:.2f}")
+    print(f"  local hit rate   : {result.local_hit_rate:.1%}")
+    print(f"  migrations       : {result.migrations} "
+          f"(demotions {result.demotions})")
+    if result.mgmt_ns:
+        print(f"  kernel mgmt time : {pretty_time(result.mgmt_ns)}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cfg = _config_for(args)
+    scale = getattr(WorkloadScale, args.scale)()
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if "native" not in schemes:
+        schemes.insert(0, "native")
+    results = compare_schemes(args.workload, schemes, cfg, scale=scale)
+    native = results["native"]
+    rows = []
+    for name, result in results.items():
+        rows.append((
+            name,
+            f"{result.speedup_over(native):.2f}x",
+            f"{result.local_hit_rate:.1%}",
+            f"{result.inter_host_stall_fraction(native.exec_time_ns):.1%}",
+            result.migrations,
+        ))
+    print(format_table(
+        f"{args.workload}: speedup over Native CXL-DSM "
+        f"({args.hosts} hosts, {args.scale} scale)",
+        ["scheme", "speedup", "local hits", "interhost stalls", "migrations"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    failures = 0
+    models = [BaseCxlDsmModel(args.hosts)]
+    models += [
+        PipmModel(args.hosts, remap_host=h) for h in range(args.hosts)
+    ]
+    for model in models:
+        result = ModelChecker(model).run()
+        print(result.summary())
+        for violation in result.violations:
+            print(f"  !! {violation}")
+        failures += len(result.violations)
+    return 1 if failures else 0
+
+
+def _cmd_workloads(_args) -> int:
+    rows = [
+        (info.name, info.suite, f"{info.paper_footprint_gb}GB",
+         info.description)
+        for info in WORKLOADS.values()
+    ]
+    print(format_table("Table 1: evaluated workloads",
+                       ["name", "suite", "paper footprint", "description"],
+                       rows))
+    return 0
+
+
+def _cmd_config(_args) -> int:
+    rows = list(SystemConfig.paper().describe().items())
+    print(format_table("Table 2: system configuration (paper values)",
+                       ["component", "setting"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "check": _cmd_check,
+    "workloads": _cmd_workloads,
+    "config": _cmd_config,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

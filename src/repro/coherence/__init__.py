@@ -1,0 +1,34 @@
+"""Coherence protocols: baseline CXL-DSM MESI and PIPM coherence.
+
+Two layers live here:
+
+* Pure, functional *protocol models* (:mod:`base_protocol`,
+  :mod:`pipm_protocol`) — small transition systems over one cache line
+  shared by N hosts, used by the explicit-state model checker
+  (:mod:`checker`) to verify SWMR, data-value integrity, and the absence
+  of stuck states (the paper's Murphi verification, Section 5.1.4).
+
+* State/encoding vocabulary (:mod:`states`, :mod:`messages`) shared with the
+  timing simulator in :mod:`repro.sim`.
+"""
+
+from .states import CacheState, MemBit, encode_local_state, encode_device_state
+from .messages import MessageType
+from .base_protocol import BaseCxlDsmModel
+from .pipm_protocol import PipmModel
+from .checker import CheckResult, ModelChecker
+from .litmus import LitmusRunner, verify_sequential_consistency
+
+__all__ = [
+    "LitmusRunner",
+    "verify_sequential_consistency",
+    "CacheState",
+    "MemBit",
+    "MessageType",
+    "encode_local_state",
+    "encode_device_state",
+    "BaseCxlDsmModel",
+    "PipmModel",
+    "ModelChecker",
+    "CheckResult",
+]

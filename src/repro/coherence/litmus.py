@@ -1,0 +1,184 @@
+"""Litmus tests over the coherence protocol models.
+
+The paper's Murphi verification argues PIPM coherence preserves Sequential
+Consistency.  The per-line model checker establishes the per-location
+invariants (SWMR, reads-see-latest); this module adds the cross-location
+argument: classic SC litmus patterns — message passing (MP), store
+buffering (SB), load buffering (LB) — executed over *two independent line
+models* under every interleaving of the two hosts' program orders.
+
+Because protocol transactions are atomic (the paper's locked ZSim-style
+implementation), each interleaving is a sequential execution; the litmus
+runner verifies that no interleaving produces an outcome SC forbids, for
+both the baseline protocol and PIPM with any remap-host assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .base_protocol import Action, BaseCxlDsmModel
+from .pipm_protocol import PipmModel
+
+#: One litmus instruction: (host, op, line_index); op is "load"/"store".
+Instr = Tuple[int, str, int]
+
+
+@dataclass
+class LitmusOutcome:
+    """Values observed by each load, keyed by (host, program position)."""
+
+    loads: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+@dataclass
+class LitmusTest:
+    """A named litmus pattern plus its SC-forbidden outcome predicate."""
+
+    name: str
+    threads: Sequence[Sequence[Tuple[str, int]]]  # per host: (op, line)
+    forbidden: Callable[[LitmusOutcome], bool]
+    description: str = ""
+
+
+def _interleavings(lengths: Sequence[int]):
+    """All interleavings of per-thread program orders (as host sequences)."""
+    total = sum(lengths)
+    if len(lengths) != 2:
+        raise ValueError("litmus runner supports two threads")
+    # Choose the positions of thread 0's instructions among `total` slots.
+    for slots in combinations(range(total), lengths[0]):
+        order = [1] * total
+        for slot in slots:
+            order[slot] = 0
+        yield order
+
+
+class LitmusRunner:
+    """Executes litmus tests over a family of per-line protocol models."""
+
+    def __init__(self, model_factory: Callable[[], object],
+                 num_lines: int = 2) -> None:
+        self.model_factory = model_factory
+        self.num_lines = num_lines
+
+    def run(self, test: LitmusTest) -> List[LitmusOutcome]:
+        """Every outcome over every interleaving; raises on SC violations."""
+        if len(test.threads) != 2:
+            raise ValueError("litmus tests are two-threaded")
+        lengths = [len(t) for t in test.threads]
+        outcomes: List[LitmusOutcome] = []
+        for order in _interleavings(lengths):
+            outcome = self._execute(test, order)
+            if test.forbidden(outcome):
+                raise AssertionError(
+                    f"{test.name}: SC-forbidden outcome {outcome.loads} "
+                    f"reachable via interleaving {order}"
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def _execute(self, test: LitmusTest, order: Sequence[int]
+                 ) -> LitmusOutcome:
+        models = [self.model_factory() for _ in range(self.num_lines)]
+        states = [m.initial_state() for m in models]
+        cursors = [0, 0]
+        outcome = LitmusOutcome()
+        for host in order:
+            op, line = test.threads[host][cursors[host]]
+            model = models[line]
+            states[line], obs = model.apply(states[line], Action(op, host))
+            if op == "load":
+                outcome.loads[(host, cursors[host])] = obs["read_version"]
+            cursors[host] += 1
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# The classic patterns.  Lines: 0 = data (x), 1 = flag (y).
+# Stores write increasing versions; version 0 is the initial value.
+# ----------------------------------------------------------------------
+def message_passing() -> LitmusTest:
+    """MP: if the reader sees the flag set, it must see the data."""
+
+    def forbidden(outcome: LitmusOutcome) -> bool:
+        flag = outcome.loads.get((1, 0))
+        data = outcome.loads.get((1, 1))
+        return flag is not None and flag > 0 and data == 0
+
+    return LitmusTest(
+        name="MP",
+        threads=[
+            [("store", 0), ("store", 1)],  # W x; W flag
+            [("load", 1), ("load", 0)],  # R flag; R x
+        ],
+        forbidden=forbidden,
+        description="flag observed set but data stale",
+    )
+
+
+def store_buffering() -> LitmusTest:
+    """SB: both hosts store then read the other's location.
+
+    SC forbids both loads returning the initial value.
+    """
+
+    def forbidden(outcome: LitmusOutcome) -> bool:
+        r0 = outcome.loads.get((0, 1))
+        r1 = outcome.loads.get((1, 1))
+        return r0 == 0 and r1 == 0
+
+    return LitmusTest(
+        name="SB",
+        threads=[
+            [("store", 0), ("load", 1)],  # W x; R y
+            [("store", 1), ("load", 0)],  # W y; R x
+        ],
+        forbidden=forbidden,
+        description="both hosts read stale values after their stores",
+    )
+
+
+def coherence_order() -> LitmusTest:
+    """CoRR: two reads of one location by the same host never go backwards."""
+
+    def forbidden(outcome: LitmusOutcome) -> bool:
+        first = outcome.loads.get((1, 0))
+        second = outcome.loads.get((1, 1))
+        return (first is not None and second is not None
+                and second < first)
+
+    return LitmusTest(
+        name="CoRR",
+        threads=[
+            [("store", 0), ("store", 0)],  # two writes to x
+            [("load", 0), ("load", 0)],  # two reads of x
+        ],
+        forbidden=forbidden,
+        description="a host observed a location's history out of order",
+    )
+
+
+ALL_LITMUS = (message_passing, store_buffering, coherence_order)
+
+
+def run_all(model_factory: Callable[[], object]) -> Dict[str, int]:
+    """Run every litmus pattern; returns interleaving counts per test."""
+    runner = LitmusRunner(model_factory)
+    return {
+        make().name: len(runner.run(make())) for make in ALL_LITMUS
+    }
+
+
+def verify_sequential_consistency(num_hosts: int = 2) -> Dict[str, Dict[str, int]]:
+    """Litmus-verify the baseline protocol and PIPM (all remap hosts)."""
+    results = {
+        "cxl-dsm-msi": run_all(lambda: BaseCxlDsmModel(num_hosts)),
+    }
+    for remap in range(num_hosts):
+        results[f"pipm-remap{remap}"] = run_all(
+            lambda: PipmModel(num_hosts, remap_host=remap)
+        )
+    return results

@@ -1,0 +1,42 @@
+"""Coherence message vocabulary for the CXL-DSM fabric.
+
+The timing simulator charges link traversals per message; the vocabulary
+here names them so traffic accounting and the protocol models agree on what
+travels where.  Sizes follow CXL.mem flit framing: control-only messages are
+header flits, data messages carry a 64 B line.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+
+class MessageType(Enum):
+    """Messages exchanged between local directories and the device directory."""
+
+    RD_REQ = auto()  # read (cacheable) request
+    RFO_REQ = auto()  # read-for-ownership (write) request
+    WB = auto()  # dirty writeback to CXL memory
+    INV = auto()  # invalidate a sharer
+    FWD = auto()  # forward request to the owning host (M / I' states)
+    DATA = auto()  # data response (64B line)
+    ACK = auto()  # completion acknowledgement
+    NC_RD = auto()  # non-cacheable inter-host read (GIM path, Section 3.1)
+    NC_WR = auto()  # non-cacheable inter-host write
+    MIG_BACK = auto()  # PIPM migrate-back writeback (cases 2/5/6 of Fig. 9)
+
+    @property
+    def carries_data(self) -> bool:
+        return self in (
+            MessageType.WB,
+            MessageType.DATA,
+            MessageType.NC_WR,
+            MessageType.MIG_BACK,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        from ..mem.cxl_link import CONTROL_BYTES
+        from .. import units
+
+        return units.CACHE_LINE if self.carries_data else CONTROL_BYTES

@@ -1,0 +1,75 @@
+"""Coherence states, including PIPM's ME and I' states (Fig. 9).
+
+The paper encodes the two new states by pairing the existing directory
+states with a 1-bit in-memory state stored alongside ECC:
+
+==================  =================  ============  =================
+PIPM state          directory state    in-memory bit  meaning
+==================  =================  ============  =================
+``ME``              ME (new, local)    1             migrated + exclusively cached
+``I'`` (``I_MIG``)  I                  1             migrated, not cached
+``M``/``S``/``I``   M/S/I              0             standard MESI
+==================  =================  ============  =================
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class CacheState(IntEnum):
+    """Directory/cache coherence states (standard MESI plus PIPM's ME/I')."""
+
+    I = 0  # noqa: E741 - the canonical protocol name
+    S = 1
+    E = 2
+    M = 3
+    ME = 4  # Migrated-Modified/Exclusive (local directory only)
+    I_MIG = 5  # I' - migrated to a host's local memory, not cached
+
+    @property
+    def is_valid_copy(self) -> bool:
+        """Whether a cache holding this state has readable data."""
+        return self in (CacheState.S, CacheState.E, CacheState.M, CacheState.ME)
+
+    @property
+    def is_writer(self) -> bool:
+        """Whether this state grants write permission (SWMR 'writer')."""
+        return self in (CacheState.M, CacheState.E, CacheState.ME)
+
+
+class MemBit(IntEnum):
+    """The 1-bit in-memory state kept in ECC spare bits (Section 4.3.2)."""
+
+    HOME = 0  # the latest non-cached copy lives in CXL memory
+    MIGRATED = 1  # the latest non-cached copy lives in a host's local memory
+
+
+def encode_local_state(directory_state: CacheState, mem_bit: MemBit) -> CacheState:
+    """Full local coherence state = directory state + in-memory bit.
+
+    Implements the upper table of Fig. 9: an ``I`` directory state with the
+    in-memory bit set decodes to ``I'``; the explicit ``ME`` directory state
+    requires the bit set.
+    """
+    if directory_state is CacheState.ME:
+        if mem_bit is not MemBit.MIGRATED:
+            raise ValueError("ME requires the in-memory bit to be set")
+        return CacheState.ME
+    if directory_state is CacheState.I and mem_bit is MemBit.MIGRATED:
+        return CacheState.I_MIG
+    return directory_state
+
+
+def encode_device_state(directory_state: CacheState, mem_bit: MemBit) -> CacheState:
+    """Full device coherence state (lower table of Fig. 9).
+
+    The device directory reuses ``I`` + in-memory bit = 1 as ``I'`` —
+    inter-host accesses to such lines must be directed to the owning host's
+    local memory.
+    """
+    if directory_state is CacheState.ME:
+        raise ValueError("the device directory never holds ME")
+    if directory_state is CacheState.I and mem_bit is MemBit.MIGRATED:
+        return CacheState.I_MIG
+    return directory_state

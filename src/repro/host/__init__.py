@@ -1,0 +1,8 @@
+"""Host-side components: cores, TLBs, page tables, and the Host assembly."""
+
+from .core import CoreModel
+from .tlb import Tlb
+from .page_table import PageTable
+from .host import Host
+
+__all__ = ["CoreModel", "Tlb", "PageTable", "Host"]

@@ -1,0 +1,47 @@
+"""Per-host page table bookkeeping for kernel page migration.
+
+Kernel migration changes a page's unified physical address, which requires
+updating every host's process page tables that map it and invalidating
+TLBs (Section 3.1, "Workflow of page migration").  The timing simulator
+charges those costs from :mod:`repro.policies.costs`; this module tracks
+*which* hosts map a page so the cost model knows how many page-table
+updates and shootdowns a migration broadcast causes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class PageTable:
+    """Reverse-map bookkeeping: shared pages this host has mapped."""
+
+    def __init__(self, host_id: int) -> None:
+        self.host_id = host_id
+        self._mapped: Set[int] = set()
+        self.updates = 0
+
+    def touch(self, page: int) -> None:
+        """Record that this host faulted the shared page in."""
+        self._mapped.add(page)
+
+    def maps(self, page: int) -> bool:
+        return page in self._mapped
+
+    def remap(self, page: int) -> bool:
+        """Apply a migration-induced PTE update; True if we mapped it."""
+        if page in self._mapped:
+            self.updates += 1
+            return True
+        return False
+
+    @property
+    def mapped_count(self) -> int:
+        return len(self._mapped)
+
+
+def hosts_mapping(page_tables: Dict[int, "PageTable"], page: int) -> Set[int]:
+    """The set of hosts whose page tables map ``page``."""
+    return {
+        host for host, table in page_tables.items() if table.maps(page)
+    }

@@ -1,0 +1,50 @@
+"""TLB model.
+
+A per-host, unified second-level TLB over 4 KB pages.  A miss pays a page
+walk against local memory.  Kernel page migration shoots entries down
+(``shootdown``), which is how remapped pages force re-walks; PIPM never
+touches the TLB (its remapping happens below the physical address).
+"""
+
+from __future__ import annotations
+
+from ..cache.sa_cache import SetAssocCache
+
+
+class Tlb:
+    """Set-associative TLB keyed by page index."""
+
+    def __init__(
+        self,
+        entries: int = 2048,
+        ways: int = 8,
+        hit_ns: float = 0.0,
+        walk_ns: float = 50.0,
+        name: str = "tlb",
+    ) -> None:
+        sets = max(1, entries // ways)
+        pow2_sets = 1 << (sets.bit_length() - 1)
+        self._cache = SetAssocCache(pow2_sets, ways, name=name)
+        self.hit_ns = hit_ns
+        self.walk_ns = walk_ns
+        self.shootdowns = 0
+
+    def translate(self, page: int) -> float:
+        """Latency contribution of translating ``page``."""
+        if self._cache.lookup(page) is not None:
+            return self.hit_ns
+        self._cache.fill(page)
+        return self.hit_ns + self.walk_ns
+
+    def shootdown(self, page: int) -> bool:
+        """Invalidate ``page``; returns True if it was resident."""
+        self.shootdowns += 1
+        return self._cache.invalidate(page) is not None
+
+    @property
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses

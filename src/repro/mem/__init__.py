@@ -1,0 +1,16 @@
+"""Memory substrates: address map, DRAM timing, CXL link, controllers."""
+
+from .address import AddressMap, FrameAllocator, Region
+from .cxl_link import CxlLink
+from .dram import DramChannel, DramPool
+from .controller import MemoryController
+
+__all__ = [
+    "AddressMap",
+    "FrameAllocator",
+    "Region",
+    "CxlLink",
+    "DramChannel",
+    "DramPool",
+    "MemoryController",
+]

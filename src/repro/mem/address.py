@@ -1,0 +1,175 @@
+"""Unified physical address map of a multi-host CXL-DSM system.
+
+The CXL 3.x unified physical address space places the shared CXL-DSM pool
+at the bottom of the map, followed by each host's GIM-exposed local DRAM.
+Processors route each request with a "simple physical address range check"
+(paper Section 4.3.3): addresses below :attr:`AddressMap.cxl_end` are shared
+CXL-DSM, addresses inside a host's window are that host's local memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .. import units
+
+
+#: Sentinel host id meaning "the CXL memory node" rather than a host.
+CXL_NODE = -1
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named contiguous byte range inside the shared heap."""
+
+    name: str
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    @property
+    def num_pages(self) -> int:
+        first = units.page_addr(self.start)
+        last = units.page_addr(self.end - 1)
+        return last - first + 1
+
+
+class AddressMap:
+    """Physical layout: CXL-DSM pool at 0, per-host local windows above."""
+
+    def __init__(
+        self, num_hosts: int, cxl_capacity: int, local_capacity: int
+    ) -> None:
+        if num_hosts < 1:
+            raise ValueError("need at least one host")
+        if cxl_capacity % units.PAGE_SIZE or local_capacity % units.PAGE_SIZE:
+            raise ValueError("capacities must be page aligned")
+        self.num_hosts = num_hosts
+        self.cxl_capacity = cxl_capacity
+        self.local_capacity = local_capacity
+        self.cxl_start = 0
+        self.cxl_end = cxl_capacity
+        self._local_starts = [
+            cxl_capacity + host * local_capacity for host in range(num_hosts)
+        ]
+        self.total_capacity = cxl_capacity + num_hosts * local_capacity
+
+    # -- routing -------------------------------------------------------
+    def is_cxl(self, addr: int) -> bool:
+        """True if ``addr`` falls in the shared CXL-DSM range."""
+        return 0 <= addr < self.cxl_end
+
+    def home_of(self, addr: int) -> int:
+        """The node owning the DRAM behind ``addr``.
+
+        Returns :data:`CXL_NODE` for the shared pool, else the host id.
+        """
+        if addr < 0 or addr >= self.total_capacity:
+            raise ValueError(f"address {addr:#x} outside the physical map")
+        if addr < self.cxl_end:
+            return CXL_NODE
+        return (addr - self.cxl_end) // self.local_capacity
+
+    def local_window(self, host: int) -> Tuple[int, int]:
+        """``(start, end)`` of ``host``'s GIM window."""
+        self._check_host(host)
+        start = self._local_starts[host]
+        return start, start + self.local_capacity
+
+    def local_page_to_addr(self, host: int, pfn: int) -> int:
+        """Byte address of local page frame ``pfn`` on ``host``."""
+        self._check_host(host)
+        if pfn < 0 or pfn >= self.local_capacity // units.PAGE_SIZE:
+            raise ValueError(f"pfn {pfn} outside host {host} local DRAM")
+        return self._local_starts[host] + units.page_base(pfn)
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range [0, {self.num_hosts})")
+
+    # -- shared-heap layout -------------------------------------------
+    def heap_allocator(self) -> "HeapAllocator":
+        return HeapAllocator(self.cxl_capacity)
+
+
+class HeapAllocator:
+    """Page-aligned bump allocator for the shared CXL-DSM heap."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._cursor = 0
+        self.regions: List[Region] = []
+
+    def alloc(self, name: str, size: int, align: int = units.PAGE_SIZE) -> Region:
+        """Allocate ``size`` bytes (rounded up to ``align``)."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        start = (self._cursor + align - 1) & ~(align - 1)
+        padded = (size + align - 1) & ~(align - 1)
+        if start + padded > self.capacity:
+            raise MemoryError(
+                f"shared heap exhausted allocating {name!r}: "
+                f"{start + padded} > {self.capacity}"
+            )
+        region = Region(name, start, padded)
+        self._cursor = start + padded
+        self.regions.append(region)
+        return region
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    def region_of(self, addr: int) -> Optional[Region]:
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+
+class FrameAllocator:
+    """Local-DRAM page frame allocator for migrated pages.
+
+    The OS/hypervisor hands PIPM (and kernel migration schemes) free local
+    page frames.  Capacity is bounded by the host's migration budget; frames
+    are recycled through a free list on revocation/demotion.
+    """
+
+    def __init__(self, num_frames: int) -> None:
+        if num_frames < 1:
+            raise ValueError("need at least one frame")
+        self.num_frames = num_frames
+        self._next_fresh = 0
+        self._free: List[int] = []
+
+    def alloc(self) -> Optional[int]:
+        """A free PFN, or ``None`` when the migration budget is exhausted."""
+        if self._free:
+            return self._free.pop()
+        if self._next_fresh < self.num_frames:
+            pfn = self._next_fresh
+            self._next_fresh += 1
+            return pfn
+        return None
+
+    def free(self, pfn: int) -> None:
+        if pfn < 0 or pfn >= self._next_fresh:
+            raise ValueError(f"freeing pfn {pfn} that was never allocated")
+        self._free.append(pfn)
+
+    @property
+    def in_use(self) -> int:
+        return self._next_fresh - len(self._free)
+
+    @property
+    def available(self) -> int:
+        return self.num_frames - self.in_use

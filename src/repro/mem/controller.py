@@ -1,0 +1,37 @@
+"""Memory controller front-end: a thin facade over a :class:`DramPool`.
+
+Separated from :mod:`repro.mem.dram` so host local memory and CXL memory can
+attach identical controllers while the system model charges different
+interconnect costs in front of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from ..config import DramConfig
+from ..stats import ScopedStats
+from .dram import DramPool
+
+
+class MemoryController:
+    """Serves line and page granule requests against a DRAM pool."""
+
+    def __init__(self, config: DramConfig, stats: Optional[ScopedStats] = None):
+        self.config = config
+        self.pool = DramPool(config, stats)
+        self._stats = stats
+
+    def read_line(self, addr: int, now: float) -> float:
+        return self.pool.access(addr, now, units.CACHE_LINE)
+
+    def write_line(self, addr: int, now: float) -> float:
+        return self.pool.access(addr, now, units.CACHE_LINE)
+
+    def transfer_page(self, addr: int, now: float) -> float:
+        """Stream a whole 4 KB page (used by kernel page migration)."""
+        return self.pool.access(addr, now, units.PAGE_SIZE)
+
+    def reset(self) -> None:
+        self.pool.reset()

@@ -1,0 +1,63 @@
+"""CXL link model: fixed per-direction latency + bandwidth server queues.
+
+Each host owns one link to the CXL memory node (Fig. 1).  A message pays the
+configured one-way latency plus serialization at the per-direction
+bandwidth, plus queueing behind earlier traffic in the same direction.
+Inter-host (4-hop) traffic traverses two links — the requester's and the
+owner's — which the system model composes from two :class:`CxlLink` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import units
+from ..config import CxlLinkConfig
+from ..stats import ScopedStats
+
+#: Direction constants.
+TO_DEVICE = 0
+TO_HOST = 1
+
+
+class CxlLink:
+    """One bidirectional host <-> CXL-node link."""
+
+    def __init__(self, config: CxlLinkConfig, stats: Optional[ScopedStats] = None):
+        self.config = config
+        self._busy_until = [0.0, 0.0]
+        self._stats = stats
+
+    def transfer(self, direction: int, now: float, size_bytes: int) -> float:
+        """Latency (ns) for ``size_bytes`` in ``direction`` starting ``now``."""
+        serialization = units.transfer_ns(size_bytes, self.config.bandwidth_gbs)
+        queue_delay = max(0.0, self._busy_until[direction] - now)
+        self._busy_until[direction] = (
+            max(self._busy_until[direction], now) + serialization
+        )
+        if self._stats is not None:
+            self._stats.add("messages")
+            self._stats.add("bytes", size_bytes)
+            self._stats.add("queue_ns", queue_delay)
+        return self.config.latency_ns + queue_delay + serialization
+
+    def round_trip(
+        self,
+        now: float,
+        request_bytes: int = units.CACHE_LINE,
+        response_bytes: int = units.CACHE_LINE,
+    ) -> float:
+        """Request to the device and response back, starting at ``now``."""
+        out = self.transfer(TO_DEVICE, now, request_bytes)
+        back = self.transfer(TO_HOST, now + out, response_bytes)
+        return out + back
+
+    def occupancy_until(self, direction: int) -> float:
+        return self._busy_until[direction]
+
+    def reset(self) -> None:
+        self._busy_until = [0.0, 0.0]
+
+
+#: Size of a bare coherence/control message on the link (header-only flit).
+CONTROL_BYTES = 16

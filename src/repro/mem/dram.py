@@ -1,0 +1,81 @@
+"""DDR5 DRAM timing model.
+
+Per-channel model with open-row (row-buffer) tracking per bank and a
+bandwidth server queue: an access pays the row-hit or row-miss latency plus
+any queueing delay behind earlier transfers on the same channel.  This is
+deliberately lighter than a full DRAM scheduler — the simulator charges
+latency at access granularity — but it captures the two effects the paper's
+evaluation depends on: locality-sensitive latency and bandwidth contention
+during migration bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import units
+from ..config import DramConfig
+from ..stats import ScopedStats
+
+
+class DramChannel:
+    """One DDR5 channel: banks with open rows + a bandwidth server."""
+
+    def __init__(self, config: DramConfig, stats: Optional[ScopedStats] = None):
+        self.config = config
+        self._open_rows: Dict[int, int] = {}
+        self._busy_until = 0.0
+        self._stats = stats
+
+    def access(self, addr: int, now: float, size_bytes: int = units.CACHE_LINE) -> float:
+        """Latency (ns) to service ``size_bytes`` at ``addr`` starting ``now``."""
+        cfg = self.config
+        row = addr // cfg.row_bytes
+        bank = row % cfg.banks_per_channel
+        open_row = self._open_rows.get(bank)
+        if open_row == row:
+            device_ns = cfg.row_hit_ns
+            if self._stats is not None:
+                self._stats.add("row_hits")
+        else:
+            device_ns = cfg.row_miss_ns
+            self._open_rows[bank] = row
+            if self._stats is not None:
+                self._stats.add("row_misses")
+        serialization = units.transfer_ns(size_bytes, cfg.bandwidth_gbs_per_channel)
+        queue_delay = max(0.0, self._busy_until - now)
+        self._busy_until = max(self._busy_until, now) + serialization
+        if self._stats is not None:
+            self._stats.add("accesses")
+            self._stats.add("bytes", size_bytes)
+            self._stats.add("queue_ns", queue_delay)
+        return device_ns + queue_delay + serialization
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+        self._busy_until = 0.0
+
+
+class DramPool:
+    """A DRAM pool of one or more channels with address interleaving."""
+
+    def __init__(self, config: DramConfig, stats: Optional[ScopedStats] = None):
+        self.config = config
+        self.channels = [
+            DramChannel(config, stats.scoped(f"ch{i}") if stats else None)
+            for i in range(config.channels)
+        ]
+        # Interleave at 4KB granularity across channels.
+        self._interleave_shift = units.PAGE_SHIFT
+
+    def access(self, addr: int, now: float, size_bytes: int = units.CACHE_LINE) -> float:
+        channel = (addr >> self._interleave_shift) % len(self.channels)
+        return self.channels[channel].access(addr, now, size_bytes)
+
+    @property
+    def total_bandwidth_gbs(self) -> float:
+        return self.config.bandwidth_gbs_per_channel * self.config.channels
+
+    def reset(self) -> None:
+        for channel in self.channels:
+            channel.reset()

@@ -1,0 +1,18 @@
+"""PIPM core: remapping tables, majority-vote policy, migration engine."""
+
+from .remap_global import GlobalRemapEntry, GlobalRemapTable
+from .remap_local import LocalRemapEntry, LocalRemapTable
+from .remap_cache import RemapCache
+from .majority_vote import MajorityVote, VoteDecision
+from .engine import PipmEngine
+
+__all__ = [
+    "GlobalRemapEntry",
+    "GlobalRemapTable",
+    "LocalRemapEntry",
+    "LocalRemapTable",
+    "RemapCache",
+    "MajorityVote",
+    "VoteDecision",
+    "PipmEngine",
+]

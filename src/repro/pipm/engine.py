@@ -1,0 +1,296 @@
+"""PIPM engine: remapping tables + majority vote + incremental migration.
+
+This is the *functional* heart of PIPM used by the timing simulator: it owns
+the global remapping table/cache on the CXL device, each host's local
+remapping table/cache and local frame allocator, and applies the
+majority-vote policy.  It never computes latencies — the system model
+charges those using the cache-hit booleans this engine returns.
+
+The same engine, constructed with ``static_map=True``, provides the
+HW-static baseline (Intel-Flat-Mode-like): CXL-DSM pages are uniformly
+partitioned across hosts, every page implicitly owns a local frame on its
+static host, and no vote ever runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import units
+from ..config import PipmConfig
+from ..mem.address import FrameAllocator
+from .majority_vote import MajorityVote, VoteDecision
+from .remap_cache import InfiniteRemapCache, RemapCache
+from .remap_global import NO_HOST, GlobalRemapTable
+from .remap_local import LocalRemapEntry, LocalRemapTable
+
+
+@dataclass
+class PipmCounters:
+    """Event counts the evaluation reports on."""
+
+    promotions: int = 0
+    promotions_denied: int = 0  # no free local frame
+    revocations: int = 0
+    incremental_migrations: int = 0  # lines moved CXL -> local on eviction
+    migrate_backs: int = 0  # lines moved local -> CXL on inter-host access
+    revoked_lines: int = 0  # lines bulk-moved back on revocation
+    peak_pages: Dict[int, int] = field(default_factory=dict)
+    peak_lines: Dict[int, int] = field(default_factory=dict)
+
+
+class PipmEngine:
+    """All PIPM migration state for one multi-host system."""
+
+    def __init__(
+        self,
+        config: PipmConfig,
+        num_hosts: int,
+        cxl_capacity_bytes: int,
+        frames_per_host: int,
+        static_map: bool = False,
+        infinite_global_cache: bool = False,
+        infinite_local_cache: bool = False,
+    ) -> None:
+        self.config = config
+        self.num_hosts = num_hosts
+        self.static_map = static_map
+        self.vote = MajorityVote(config)
+        self.global_table = GlobalRemapTable(config, cxl_capacity_bytes)
+        if infinite_global_cache:
+            self.global_cache: RemapCache = InfiniteRemapCache(
+                config.global_remap_cache_latency_ns, name="global-remap-inf"
+            )
+        else:
+            self.global_cache = RemapCache(
+                config.global_remap_cache_bytes,
+                config.global_entry_bytes,
+                config.global_remap_cache_ways,
+                config.global_remap_cache_latency_ns,
+                name="global-remap",
+            )
+        self.local_tables = [
+            LocalRemapTable(config, host) for host in range(num_hosts)
+        ]
+        if infinite_local_cache:
+            self.local_caches: List[RemapCache] = [
+                InfiniteRemapCache(
+                    config.local_remap_cache_latency_ns,
+                    name=f"local-remap-inf{h}",
+                )
+                for h in range(num_hosts)
+            ]
+        else:
+            self.local_caches = [
+                RemapCache(
+                    config.local_remap_cache_bytes,
+                    config.local_entry_bytes,
+                    config.local_remap_cache_ways,
+                    config.local_remap_cache_latency_ns,
+                    name=f"local-remap{h}",
+                )
+                for h in range(num_hosts)
+            ]
+        self.frames = [FrameAllocator(frames_per_host) for _ in range(num_hosts)]
+        self.counters = PipmCounters()
+        # Software interface (paper Section 6): applications may disable
+        # migration for pages with known-contested semantics, or explicitly
+        # request partial migration of pages they know to be host-affine.
+        self._pinned_cxl: set = set()
+
+    # -- host-side lookups (on every shared-data LLC miss) ----------------
+    def local_lookup(
+        self, host: int, page: int
+    ) -> Tuple[Optional[LocalRemapEntry], bool]:
+        """The host's local remap entry for ``page`` and cache-hit flag.
+
+        HW-static materializes entries lazily for pages statically homed at
+        ``host``.
+        """
+        cache_hit = self.local_caches[host].probe(page)
+        table = self.local_tables[host]
+        entry = table.lookup(page)
+        if entry is None and self.static_map and self.static_home(page) == host:
+            pfn = self.frames[host].alloc()
+            if pfn is not None:
+                entry = table.insert(page, pfn)
+        if not cache_hit:
+            # Negative results are cached too: the remapping cache resolves
+            # I vs I' for *every* shared page (Section 4.3.3), so pages with
+            # no entry must not re-walk the radix table on every miss.
+            self.local_caches[host].install(page)
+        return entry, cache_hit
+
+    def static_home(self, page: int) -> int:
+        """HW-static's fixed uniform partition of the CXL-DSM page range."""
+        return page % self.num_hosts
+
+    # -- device-side vote (on CXL accesses to non-migrated pages) -----------
+    def device_lookup(self, page: int) -> bool:
+        """Probe the global remapping cache; returns the hit flag."""
+        hit = self.global_cache.probe(page)
+        if not hit:
+            self.global_cache.install(page)
+        return hit
+
+    def record_cxl_access(self, page: int, host: int) -> Optional[int]:
+        """Run the majority vote for a CXL access; maybe start a migration.
+
+        Returns the destination host when partial migration is initiated
+        (step 3 of Fig. 7), else ``None``.  HW-static never votes.
+        """
+        if self.static_map or page in self._pinned_cxl:
+            return None
+        entry = self.global_table.entry(page)
+        if entry.current_host != NO_HOST:
+            return None
+        decision = self.vote.on_cxl_access(entry, host)
+        if decision is not VoteDecision.PROMOTE:
+            return None
+        dest = entry.candidate_host
+        pfn = self.frames[dest].alloc()
+        if pfn is None:
+            self.counters.promotions_denied += 1
+            # Leave the counter saturated; a frame may free up later.
+            return None
+        self.vote.promote(entry)
+        self.local_tables[dest].insert(page, pfn)
+        self.local_caches[dest].install(page)
+        self.counters.promotions += 1
+        self._track_peaks(dest)
+        return dest
+
+    # -- data movement hooks --------------------------------------------
+    def incremental_migrate(
+        self, host: int, entry: LocalRemapEntry, line_in_page: int
+    ) -> bool:
+        """Case 1/4 of Fig. 9: an evicted line lands in local DRAM.
+
+        Returns True if this flip newly migrated the line (case 1) rather
+        than refreshing an already-migrated one (case 4).
+        """
+        fresh = not entry.line_migrated(line_in_page)
+        if fresh:
+            entry.set_line(line_in_page)
+            self.counters.incremental_migrations += 1
+            self._track_peaks(host)
+        return fresh
+
+    def record_local_access(self, entry: LocalRemapEntry) -> None:
+        self.vote.on_local_access(entry)
+
+    def inter_host_access(
+        self, owner: int, page: int, line_in_page: int
+    ) -> Tuple[bool, Optional[List[int]]]:
+        """Cases 2/5/6 of Fig. 9 plus steps 5/6 of Fig. 7.
+
+        An inter-host access to a partially migrated page migrates the
+        touched line back to CXL memory and decrements the page's local
+        counter.  Returns ``(line_was_migrated, revoked_lines)`` where
+        ``revoked_lines`` lists line-in-page indexes that must be bulk
+        written back because the whole partial migration was revoked.
+        """
+        table = self.local_tables[owner]
+        entry = table.lookup(page)
+        if entry is None:
+            return False, None
+        line_was_migrated = entry.line_migrated(line_in_page)
+        if line_was_migrated:
+            entry.clear_line(line_in_page)
+            self.counters.migrate_backs += 1
+        if self.static_map:
+            # HW-static has no counters and never revokes the mapping.
+            return line_was_migrated, None
+        decision = self.vote.on_inter_host_access(entry)
+        if decision is not VoteDecision.REVOKE:
+            return line_was_migrated, None
+        return line_was_migrated, self._revoke(owner, page, entry)
+
+    def _revoke(
+        self, owner: int, page: int, entry: LocalRemapEntry
+    ) -> List[int]:
+        """Step 6 of Fig. 7: tear down a partial migration."""
+        lines = [
+            i for i in range(units.LINES_PER_PAGE) if entry.line_migrated(i)
+        ]
+        self.local_tables[owner].remove(page)
+        self.local_caches[owner].invalidate(page)
+        self.frames[owner].free(entry.local_pfn)
+        global_entry = self.global_table.entry(page)
+        self.vote.revoke(global_entry)
+        self.counters.revocations += 1
+        self.counters.revoked_lines += len(lines)
+        return lines
+
+    # -- software interface (Section 6 extension) -------------------------
+    def pin_to_cxl(self, page: int) -> None:
+        """Disable partial migration for ``page`` (program-semantics hint).
+
+        If the page is currently partially migrated somewhere, the mapping
+        is revoked so the pin takes effect immediately; callers in the
+        timing model are responsible for charging the revocation transfer.
+        """
+        self._pinned_cxl.add(page)
+        if not self.static_map:
+            current = self.global_table.current_host(page)
+            if current != NO_HOST:
+                entry = self.local_tables[current].lookup(page)
+                if entry is not None:
+                    self._revoke(current, page, entry)
+
+    def unpin(self, page: int) -> None:
+        """Re-enable partial migration for ``page``."""
+        self._pinned_cxl.discard(page)
+
+    def migration_enabled(self, page: int) -> bool:
+        return page not in self._pinned_cxl
+
+    def request_partial_migration(self, page: int, host: int) -> bool:
+        """Explicitly initiate partial migration (prefetch-style hint).
+
+        Bypasses the vote but respects pins and the frame budget; data
+        still moves incrementally through normal cache activity.  Returns
+        True when the mapping was created.
+        """
+        if self.static_map or page in self._pinned_cxl:
+            return False
+        entry = self.global_table.entry(page)
+        if entry.current_host != NO_HOST:
+            return False
+        pfn = self.frames[host].alloc()
+        if pfn is None:
+            self.counters.promotions_denied += 1
+            return False
+        entry.current_host = host
+        entry.candidate_host = NO_HOST
+        entry.counter = 0
+        self.local_tables[host].insert(page, pfn)
+        self.local_caches[host].install(page)
+        self.counters.promotions += 1
+        self._track_peaks(host)
+        return True
+
+    # -- footprint accounting (Fig. 13) -----------------------------------
+    def _track_peaks(self, host: int) -> None:
+        table = self.local_tables[host]
+        pages = len(table)
+        lines = table.migrated_line_total()
+        peaks = self.counters.peak_pages
+        if pages > peaks.get(host, 0):
+            peaks[host] = pages
+        peaks_l = self.counters.peak_lines
+        if lines > peaks_l.get(host, 0):
+            peaks_l[host] = lines
+
+    def page_footprint_bytes(self, host: int) -> int:
+        return self.local_tables[host].page_footprint_bytes()
+
+    def line_footprint_bytes(self, host: int) -> int:
+        return self.local_tables[host].line_footprint_bytes()
+
+    def peak_page_footprint_bytes(self, host: int) -> int:
+        return self.counters.peak_pages.get(host, 0) * units.PAGE_SIZE
+
+    def peak_line_footprint_bytes(self, host: int) -> int:
+        return self.counters.peak_lines.get(host, 0) * units.CACHE_LINE

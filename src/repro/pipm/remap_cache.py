@@ -1,0 +1,96 @@
+"""On-die remapping caches (Fig. 7, Table 2).
+
+Two instances exist: a 16 KB global remapping cache on the CXL device and a
+1 MB local remapping cache on each host's root complex.  Both are plain
+set-associative caches over *page indexes*; a miss falls back to the backing
+in-memory table and pays DRAM walk latency, which the system model charges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cache.sa_cache import SetAssocCache
+
+
+class RemapCache:
+    """Set-associative cache of remapping-table entries, keyed by page."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        entry_bytes: int,
+        ways: int,
+        latency_ns: float,
+        name: str = "remap-cache",
+    ) -> None:
+        entries = size_bytes // entry_bytes
+        if entries < ways:
+            raise ValueError(
+                f"{name}: {size_bytes}B at {entry_bytes}B/entry yields fewer "
+                f"entries than {ways} ways"
+            )
+        sets = entries // ways
+        pow2_sets = 1 << (sets.bit_length() - 1)
+        self._cache = SetAssocCache(pow2_sets, ways, name=name)
+        self.latency_ns = latency_ns
+        self.name = name
+
+    def probe(self, page: int) -> bool:
+        """True on a cache hit for ``page`` (and touches recency)."""
+        return self._cache.lookup(page) is not None
+
+    def install(self, page: int) -> Optional[int]:
+        """Install ``page``; returns an evicted page index, if any."""
+        victim = self._cache.fill(page)
+        return victim.line if victim is not None else None
+
+    def invalidate(self, page: int) -> None:
+        self._cache.invalidate(page)
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._cache.hit_rate
+
+    @property
+    def capacity_entries(self) -> int:
+        return self._cache.capacity
+
+    def reset_stats(self) -> None:
+        self._cache.reset_stats()
+
+
+class InfiniteRemapCache(RemapCache):
+    """An always-hit remap cache (the 'infinite' baseline of Figs. 16-17)."""
+
+    def __init__(self, latency_ns: float, name: str = "remap-cache-inf") -> None:
+        # Geometry is irrelevant; probe always hits.
+        super().__init__(64 * 1024, 2, 8, latency_ns, name=name)
+        self._probes = 0
+
+    def probe(self, page: int) -> bool:
+        self._probes += 1
+        return True
+
+    def install(self, page: int) -> Optional[int]:
+        return None
+
+    @property
+    def hits(self) -> int:
+        return self._probes
+
+    @property
+    def misses(self) -> int:
+        return 0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0

@@ -1,0 +1,91 @@
+"""Global remapping table (Section 4.2, Fig. 7).
+
+Lives in CXL memory; one entry per CXL-DSM page.  Each entry packs a 5-bit
+*current host ID* (which host, if any, the page is partially migrated to),
+a 5-bit *candidate host ID*, and a 6-bit *global counter* — 2 bytes total,
+0.05% of CXL-DSM capacity (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .. import units
+from ..config import PipmConfig
+
+#: "no host" encoding for the 5-bit host-id fields.
+NO_HOST = -1
+
+
+class GlobalRemapEntry:
+    """Metadata for one CXL-DSM page."""
+
+    __slots__ = ("current_host", "candidate_host", "counter")
+
+    def __init__(self) -> None:
+        self.current_host = NO_HOST
+        self.candidate_host = NO_HOST
+        self.counter = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GlobalRemapEntry(current={self.current_host}, "
+            f"candidate={self.candidate_host}, counter={self.counter})"
+        )
+
+
+class GlobalRemapTable:
+    """The in-CXL-memory table backing the global remapping cache.
+
+    Entries are created lazily (a page with no recorded accesses behaves as
+    an all-zeros entry), which models the table being a flat array over the
+    CXL-DSM page range without materializing millions of Python objects.
+    """
+
+    def __init__(self, config: PipmConfig, cxl_capacity_bytes: int) -> None:
+        self.config = config
+        self.num_pages = cxl_capacity_bytes // units.PAGE_SIZE
+        self._entries: Dict[int, GlobalRemapEntry] = {}
+
+    def entry(self, page: int) -> GlobalRemapEntry:
+        """The (lazily materialized) entry for ``page``."""
+        self._check(page)
+        entry = self._entries.get(page)
+        if entry is None:
+            entry = GlobalRemapEntry()
+            self._entries[page] = entry
+        return entry
+
+    def peek(self, page: int) -> Optional[GlobalRemapEntry]:
+        """The entry if it was ever touched, else ``None`` (all-zeros)."""
+        self._check(page)
+        return self._entries.get(page)
+
+    def current_host(self, page: int) -> int:
+        entry = self._entries.get(page)
+        return entry.current_host if entry is not None else NO_HOST
+
+    def _check(self, page: int) -> None:
+        if page < 0 or page >= self.num_pages:
+            raise ValueError(
+                f"page {page} outside CXL-DSM range [0, {self.num_pages})"
+            )
+
+    # -- space accounting (Section 4.4) ---------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Full flat-table footprint in CXL memory."""
+        return self.num_pages * self.config.global_entry_bytes
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Table bytes per byte of CXL-DSM (the paper's 0.05%)."""
+        return self.config.global_entry_bytes / units.PAGE_SIZE
+
+    def migrated_pages(self) -> Iterator[Tuple[int, GlobalRemapEntry]]:
+        for page, entry in self._entries.items():
+            if entry.current_host != NO_HOST:
+                yield page, entry
+
+    def touched_entries(self) -> int:
+        return len(self._entries)

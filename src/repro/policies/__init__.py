@@ -1,0 +1,76 @@
+"""Migration schemes evaluated in the paper (Section 5.1.3).
+
+======================  ============================================
+Scheme                  Summary
+======================  ============================================
+``native``              Baseline CXL-DSM, no migration
+``nomad``               Recency-based, transactional/async kernel migration
+``memtis``              Frequency-histogram kernel migration
+``hemem``               Sampled-frequency kernel migration
+``os-skew``             PIPM majority-vote policy + kernel mechanism
+``hw-static``           PIPM mechanism + static 1:1 map (Intel Flat Mode-like)
+``pipm``                The paper's contribution
+``local-only``          Ideal upper bound: all data local
+======================  ============================================
+"""
+
+from .base import (
+    Mechanism,
+    MigrationPlan,
+    MigrationScheme,
+    PageAccessBook,
+)
+from .costs import KernelCostModel, MigrationCharge
+from .native import NativeScheme
+from .local_only import LocalOnlyScheme
+from .nomad import NomadScheme
+from .memtis import MemtisScheme
+from .hemem import HeMemScheme
+from .os_skew import OsSkewScheme
+from .hw_static import HwStaticScheme
+from .pipm_scheme import PipmScheme
+
+SCHEME_CLASSES = {
+    cls.name: cls
+    for cls in (
+        NativeScheme,
+        NomadScheme,
+        MemtisScheme,
+        HeMemScheme,
+        OsSkewScheme,
+        HwStaticScheme,
+        PipmScheme,
+        LocalOnlyScheme,
+    )
+}
+
+
+def make_scheme(name: str, **kwargs) -> MigrationScheme:
+    """Instantiate a migration scheme by its paper name."""
+    try:
+        cls = SCHEME_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEME_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Mechanism",
+    "MigrationPlan",
+    "MigrationScheme",
+    "PageAccessBook",
+    "KernelCostModel",
+    "MigrationCharge",
+    "NativeScheme",
+    "NomadScheme",
+    "MemtisScheme",
+    "HeMemScheme",
+    "OsSkewScheme",
+    "HwStaticScheme",
+    "PipmScheme",
+    "LocalOnlyScheme",
+    "SCHEME_CLASSES",
+    "make_scheme",
+]

@@ -1,0 +1,218 @@
+"""Common migration-scheme interface and shared bookkeeping.
+
+A scheme declares its *mechanism* — how data placement physically changes:
+
+* ``NONE`` — placement is fixed (Native, Local-only),
+* ``PAGE_MAP`` — kernel whole-page migration driven by interval decisions
+  (Nomad, Memtis, HeMem, OS-skew); migrated pages become non-cacheable for
+  other hosts (Section 3.1),
+* ``PIPM`` — the hardware remapping-table mechanism with incremental
+  line-granular migration (PIPM itself and HW-static).
+
+and supplies the *policy*: which pages move where, and when.  The system
+model (:mod:`repro.sim.system`) owns the mechanics — it calls
+``observe_shared_access`` for every shared-data LLC miss and, for interval
+schemes, ``plan_interval`` at each interval boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Tuple
+
+
+class Mechanism(Enum):
+    """How a scheme physically moves data."""
+
+    NONE = auto()
+    PAGE_MAP = auto()
+    PIPM = auto()
+
+
+@dataclass
+class MigrationPlan:
+    """One interval's worth of kernel migration decisions."""
+
+    #: pages to promote into a host's local memory: (page, dest_host)
+    promotions: List[Tuple[int, int]] = field(default_factory=list)
+    #: pages to demote back to CXL memory: (page, src_host)
+    demotions: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.promotions and not self.demotions
+
+
+class PageAccessBook:
+    """Per-host page access accounting shared by the kernel policies.
+
+    Tracks, per page: access count since the epoch started, an accumulated
+    frequency estimate, and the last access time.  Cooling is triggered by
+    *observed sample count* (``observed_since_cool``), the way Memtis and
+    HeMem cool their histograms — cooling per wall-clock interval would
+    evict any page whose reuse period exceeds the interval (e.g. streaming
+    passes over a graph partition), which real systems avoid.
+    """
+
+    __slots__ = ("counts", "freq", "last_access", "observed_since_cool")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.freq: Dict[int, float] = {}
+        self.last_access: Dict[int, float] = {}
+        self.observed_since_cool = 0
+
+    def record(self, page: int, now: float, weight: int = 1) -> None:
+        self.counts[page] = self.counts.get(page, 0) + weight
+        self.last_access[page] = now
+        self.observed_since_cool += weight
+
+    def fold(self) -> None:
+        """Accumulate this epoch's counts into the frequency estimate."""
+        for page, count in self.counts.items():
+            self.freq[page] = self.freq.get(page, 0.0) + count
+        self.counts.clear()
+
+    def cool(self, factor: float = 0.5) -> None:
+        """A cooling event: scale every frequency down."""
+        doomed = []
+        for page in self.freq:
+            self.freq[page] *= factor
+            if self.freq[page] < 0.25:
+                doomed.append(page)
+        for page in doomed:
+            del self.freq[page]
+        self.observed_since_cool = 0
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Fold then cool — the simple per-epoch histogram update."""
+        self.fold()
+        self.cool(factor)
+
+    def hottest(self, limit: int) -> List[int]:
+        """Pages by accumulated frequency, hottest first."""
+        ranked = sorted(self.freq.items(), key=lambda kv: kv[1], reverse=True)
+        return [page for page, _ in ranked[:limit]]
+
+
+class MigrationScheme:
+    """Base class: a no-op scheme with the full hook surface."""
+
+    name = "abstract"
+    mechanism = Mechanism.NONE
+    #: PIPM-mechanism schemes: use the static uniform map instead of voting.
+    static_map = False
+    #: Serve every shared access from local DRAM (the Ideal bound).
+    all_local = False
+
+    def __init__(self) -> None:
+        self.num_hosts = 0
+        self.frames_per_host = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def bind(self, num_hosts: int, frames_per_host: int) -> None:
+        """Called once by the system before simulation starts."""
+        self.num_hosts = num_hosts
+        self.frames_per_host = frames_per_host
+
+    # -- observation hooks ----------------------------------------------
+    def observe_shared_access(
+        self, host: int, page: int, now: float, is_write: bool
+    ) -> None:
+        """Called for every shared-data access that misses the host caches."""
+
+    # -- interval machinery (PAGE_MAP schemes only) -------------------------
+    def interval_ns(self) -> Optional[float]:
+        """Interval between kernel migration rounds, or None."""
+        return None
+
+    def plan_interval(
+        self,
+        now: float,
+        page_locations: Dict[int, int],
+        frames_free: Dict[int, int],
+    ) -> MigrationPlan:
+        """Decide this interval's promotions/demotions.
+
+        ``page_locations`` maps migrated pages to their current host;
+        ``frames_free`` maps host -> free local frames.
+        """
+        return MigrationPlan()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class IntervalSchemeBase(MigrationScheme):
+    """Shared scaffolding for the kernel (PAGE_MAP) schemes."""
+
+    mechanism = Mechanism.PAGE_MAP
+
+    def __init__(self, interval_ns: Optional[float] = None,
+                 max_pages_per_interval: int = 512) -> None:
+        super().__init__()
+        self._interval_ns = interval_ns
+        self.max_pages_per_interval = max_pages_per_interval
+        self.books: List[PageAccessBook] = []
+
+    def bind(self, num_hosts: int, frames_per_host: int) -> None:
+        super().bind(num_hosts, frames_per_host)
+        self.books = [PageAccessBook() for _ in range(num_hosts)]
+
+    def observe_shared_access(
+        self, host: int, page: int, now: float, is_write: bool
+    ) -> None:
+        self.books[host].record(page, now)
+
+    def interval_ns(self) -> Optional[float]:
+        return self._interval_ns
+
+    # -- demotion helpers shared by subclasses --------------------------
+    def cold_demotions(
+        self,
+        host: int,
+        page_locations: Dict[int, int],
+        min_freq: float,
+        keep: set,
+    ) -> List[Tuple[int, int]]:
+        """Demote this host's local pages that have gone locally cold.
+
+        This is the continuous demotion path every kernel tiering system
+        has (Memtis cooling, Nomad's inactive list, HeMem's ring buffers):
+        a page stays in local DRAM only while *its owner* keeps it hot.  It
+        is also what bounds multi-host damage — a page another host stole
+        but only we access falls locally cold there and returns to CXL.
+        """
+        book = self.books[host]
+        victims = []
+        for page, owner in page_locations.items():
+            if owner != host or page in keep:
+                continue
+            if book.freq.get(page, 0.0) < min_freq:
+                victims.append((page, host))
+        return victims
+
+    def pick_demotions(
+        self,
+        host: int,
+        page_locations: Dict[int, int],
+        needed: int,
+        keep: set,
+    ) -> List[Tuple[int, int]]:
+        """Demote this host's coldest local pages to free ``needed`` frames."""
+        if needed <= 0:
+            return []
+        book = self.books[host]
+        local_pages = [
+            page for page, owner in page_locations.items() if owner == host
+        ]
+        local_pages.sort(key=lambda p: book.last_access.get(p, 0.0))
+        victims = []
+        for page in local_pages:
+            if page in keep:
+                continue
+            victims.append((page, host))
+            if len(victims) >= needed:
+                break
+        return victims

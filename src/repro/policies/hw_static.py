@@ -1,0 +1,21 @@
+"""HW-static ablation: PIPM's mechanism with a static 1:1 map.
+
+Models Intel-Flat-Mode-like hardware tiering (Section 3.3) adapted to
+multi-host CXL-DSM: the CXL-DSM page range is uniformly partitioned and
+statically mapped to the hosts' local memories; lines migrate incrementally
+via the PIPM coherence protocol, but *which host* a page can migrate to is
+fixed at boot — there is no adaptive policy, so a page hot on host A but
+statically homed on host B never benefits.
+"""
+
+from __future__ import annotations
+
+from .base import Mechanism, MigrationScheme
+
+
+class HwStaticScheme(MigrationScheme):
+    """PIPM coherence + incremental migration, static uniform partition."""
+
+    name = "hw-static"
+    mechanism = Mechanism.PIPM
+    static_map = True

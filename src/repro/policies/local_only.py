@@ -1,0 +1,18 @@
+"""Local-only / Ideal upper bound (Section 5.1.3, scheme 7).
+
+Models a single-socket machine with enough local DRAM to hold all data:
+every shared access is served at local-DRAM latency with no CXL traffic.
+The paper reports PIPM reaching 0.73x of this bound on average.
+"""
+
+from __future__ import annotations
+
+from .base import Mechanism, MigrationScheme
+
+
+class LocalOnlyScheme(MigrationScheme):
+    """Ideal: all data is local, the CXL link is never traversed."""
+
+    name = "local-only"
+    mechanism = Mechanism.NONE
+    all_local = True

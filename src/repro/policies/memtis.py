@@ -1,0 +1,73 @@
+"""Memtis (SOSP'23): frequency-based tiering with decayed histograms.
+
+Policy: per-page access counts accumulate into a frequency histogram that
+is *cooled* (halved) every ``cooling_samples`` observed accesses — Memtis's
+sample-count-driven cooling, which keeps pages with long reuse periods
+(streaming passes) resident while still forgetting dead pages.  The hottest
+pages above a hot threshold are promoted; resident pages that fall below a
+demotion threshold at a cooling event return to CXL memory.  This is the
+paper's representative *frequency-based* single-host policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import IntervalSchemeBase, MigrationPlan
+
+
+class MemtisScheme(IntervalSchemeBase):
+    """Sample-cooled frequency histogram promotion."""
+
+    name = "memtis"
+    initiator_cost_scale = 1.0
+    free_clean_demotions = False
+
+    def __init__(
+        self,
+        interval_ns: Optional[float] = None,
+        max_pages_per_interval: int = 512,
+        cooling_samples: int = 25_000,
+        hot_threshold: float = 16.0,
+        demote_min_freq: float = 2.0,
+    ) -> None:
+        super().__init__(interval_ns, max_pages_per_interval)
+        self.cooling_samples = cooling_samples
+        self.hot_threshold = hot_threshold
+        self.demote_min_freq = demote_min_freq
+
+    def plan_interval(
+        self,
+        now: float,
+        page_locations: Dict[int, int],
+        frames_free: Dict[int, int],
+    ) -> MigrationPlan:
+        plan = MigrationPlan()
+        for host in range(self.num_hosts):
+            book = self.books[host]
+            book.fold()
+            cooled = False
+            if book.observed_since_cool >= self.cooling_samples:
+                book.cool(0.5)
+                cooled = True
+            hot = [
+                page
+                for page in book.hottest(self.max_pages_per_interval)
+                if book.freq.get(page, 0.0) >= self.hot_threshold
+                and page_locations.get(page) is None
+            ]
+            keep = set(hot)
+            if cooled:
+                # Cooling events are also when Memtis demotes cold pages.
+                plan.demotions.extend(
+                    self.cold_demotions(host, page_locations,
+                                        self.demote_min_freq, keep)
+                )
+            free = frames_free.get(host, 0) + sum(
+                1 for _, h in plan.demotions if h == host
+            )
+            # Promote only into free frames: displacing still-warm resident
+            # pages would thrash (real Memtis/HeMem demote via cooling, not
+            # on promotion pressure).
+            plan.promotions.extend((page, host) for page in hot[:free])
+        return plan

@@ -1,0 +1,17 @@
+"""Native CXL-DSM: the no-migration baseline.
+
+All shared data stays in CXL memory for the entire run; every LLC miss to
+shared data pays the cacheable 2-hop CXL access (or the dirty-owner 4-hop
+forward).  This is the normalization baseline for every figure.
+"""
+
+from __future__ import annotations
+
+from .base import Mechanism, MigrationScheme
+
+
+class NativeScheme(MigrationScheme):
+    """Baseline: shared data is pinned in CXL-DSM."""
+
+    name = "native"
+    mechanism = Mechanism.NONE

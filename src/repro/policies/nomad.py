@@ -1,0 +1,83 @@
+"""Nomad (OSDI'24): recency-based tiering with transactional migration.
+
+Policy: pages touched repeatedly during the last interval are promotion
+candidates, most-recently-accessed first — the classic active/inactive-list
+recency signal (TPP lineage).  Resident pages demote when they have not
+been touched for ``demote_after_intervals`` intervals (inactive-list
+aging), a *time*-based window deliberately long enough that streaming
+passes with long reuse periods survive.
+
+Mechanism: Nomad's *transactional, non-exclusive* page migration keeps a
+shadow copy in CXL memory, so (a) the initiating core is not stalled for
+the full kernel path — modelled as a reduced initiator cost — and (b)
+demoting a page that was never written while local is transfer-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import IntervalSchemeBase, MigrationPlan
+
+
+class NomadScheme(IntervalSchemeBase):
+    """Recency-based promotion, async transactional migration."""
+
+    name = "nomad"
+    #: Transactional migration overlaps kernel work with execution.
+    initiator_cost_scale = 0.5
+    #: Non-exclusive copies make clean demotions transfer-free.
+    free_clean_demotions = True
+
+    def __init__(
+        self,
+        interval_ns: Optional[float] = None,
+        max_pages_per_interval: int = 512,
+        promotion_min_touches: int = 3,
+        demote_after_intervals: int = 40,
+    ) -> None:
+        super().__init__(interval_ns, max_pages_per_interval)
+        self.promotion_min_touches = promotion_min_touches
+        self.demote_after_intervals = demote_after_intervals
+        self._intervals_seen = 0
+
+    def plan_interval(
+        self,
+        now: float,
+        page_locations: Dict[int, int],
+        frames_free: Dict[int, int],
+    ) -> MigrationPlan:
+        plan = MigrationPlan()
+        self._intervals_seen += 1
+        interval = self._interval_ns if self._interval_ns else 1.0
+        age_limit = self.demote_after_intervals * interval
+        budget = self.max_pages_per_interval
+        for host in range(self.num_hosts):
+            book = self.books[host]
+            # Recency ranking: pages touched this interval, newest first.
+            candidates = [
+                page
+                for page, count in book.counts.items()
+                if count >= self.promotion_min_touches
+                and page_locations.get(page) is None
+            ]
+            candidates.sort(
+                key=lambda p: book.last_access.get(p, 0.0), reverse=True
+            )
+            candidates = candidates[:budget]
+            keep = set(candidates)
+            # Inactive-list aging: local pages idle for many intervals.
+            for page, owner in page_locations.items():
+                if owner != host or page in keep:
+                    continue
+                if now - book.last_access.get(page, 0.0) > age_limit:
+                    plan.demotions.append((page, host))
+            free = frames_free.get(host, 0) + sum(
+                1 for _, h in plan.demotions if h == host
+            )
+            # Promote only into free frames; residents leave via aging.
+            plan.promotions.extend((page, host) for page in candidates[:free])
+            book.fold()
+            if book.observed_since_cool >= 25_000:
+                book.cool(0.5)
+        return plan

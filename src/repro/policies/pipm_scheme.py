@@ -1,0 +1,20 @@
+"""PIPM: the paper's contribution, as a scheme descriptor.
+
+The actual machinery lives in :mod:`repro.pipm.engine` and the PIPM
+coherence paths of :mod:`repro.sim.system`; this descriptor selects the
+PIPM mechanism with the adaptive majority-vote policy (``static_map``
+False).  Migration decisions apply immediately upon crossing the promotion
+threshold — no kernel involvement, no interval (Section 5.1.4).
+"""
+
+from __future__ import annotations
+
+from .base import Mechanism, MigrationScheme
+
+
+class PipmScheme(MigrationScheme):
+    """Partial and Incremental Page Migration."""
+
+    name = "pipm"
+    mechanism = Mechanism.PIPM
+    static_map = False

@@ -1,0 +1,16 @@
+"""The multi-host CXL-DSM timing simulator."""
+
+from .results import ServicePoint, SimulationResult
+from .system import MultiHostSystem
+from .engine import SimulationEngine, simulate
+from .harness import run_experiment, compare_schemes
+
+__all__ = [
+    "ServicePoint",
+    "SimulationResult",
+    "MultiHostSystem",
+    "SimulationEngine",
+    "simulate",
+    "run_experiment",
+    "compare_schemes",
+]

@@ -1,0 +1,154 @@
+"""Simulation driver: time-ordered interleaving of per-host trace streams.
+
+Each host replays its stream against the shared system model.  Hosts are
+interleaved by simulated time (a min-heap over host clocks), so shared
+state — device directory, remapping tables, votes, migration intervals —
+observes accesses in a globally consistent order, the multi-host analogue
+of the paper's trace-replay methodology (Section 5.1.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..config import SystemConfig
+from ..policies.base import MigrationScheme
+from ..workloads.trace import WorkloadTrace
+from .results import ServicePoint, SimulationResult
+from .system import MultiHostSystem
+
+_SVC_L1 = int(ServicePoint.L1)
+
+
+class SimulationEngine:
+    """Runs one workload trace through one system configuration."""
+
+    def __init__(self, system: MultiHostSystem, trace: WorkloadTrace) -> None:
+        if trace.num_hosts != system.config.num_hosts:
+            raise ValueError(
+                f"trace has {trace.num_hosts} hosts, system has "
+                f"{system.config.num_hosts}"
+            )
+        self.system = system
+        self.trace = trace
+
+    def run(self) -> SimulationResult:
+        system = self.system
+        trace = self.trace
+        hosts = system.hosts
+        streams = trace.streams
+        interval_scheme = system._next_interval is not None
+
+        stall_by_service = [0.0] * 7
+        access_total = 0
+
+        # Heap of (clock_ns, host_id, next_index).
+        heap = [
+            (hosts[h].clock_ns, h, 0)
+            for h in range(len(streams))
+            if streams[h]
+        ]
+        heapq.heapify(heap)
+
+        while heap:
+            clock, host_id, index = heapq.heappop(heap)
+            host = hosts[host_id]
+            if host.clock_ns > clock:
+                # Management charges moved this host's clock forward; requeue
+                # so interleaving stays time-ordered.
+                heapq.heappush(heap, (host.clock_ns, host_id, index))
+                continue
+            gap, addr, is_write, core = streams[host_id][index]
+            host.advance_compute(gap)
+            now = host.clock_ns
+            if interval_scheme:
+                system.maybe_tick(now)
+            latency, service = system.access(host_id, core, addr,
+                                             bool(is_write), now)
+            host.accesses += 1
+            access_total += 1
+            if service != _SVC_L1:
+                stall = host.core.stall_ns(latency)
+                host.clock_ns += stall
+                stall_by_service[service] += stall
+            index += 1
+            if index < len(streams[host_id]):
+                heapq.heappush(heap, (host.clock_ns, host_id, index))
+
+        system.finalize()
+        return self._collect(stall_by_service, access_total)
+
+    def _collect(self, stall_by_service, access_total) -> SimulationResult:
+        system = self.system
+        hosts = system.hosts
+        host_times = [h.clock_ns for h in hosts]
+        result = SimulationResult(
+            workload=self.trace.name,
+            scheme=system.scheme.name,
+            num_hosts=system.config.num_hosts,
+            exec_time_ns=max(host_times) if host_times else 0.0,
+            host_time_ns=host_times,
+            instructions=sum(h.instructions for h in hosts),
+            accesses=access_total,
+            service_counts={
+                svc: count
+                for svc, count in enumerate(system.svc_counts)
+                if count
+            },
+            stall_ns_by_service={
+                svc: ns
+                for svc, ns in enumerate(stall_by_service)
+                if ns
+            },
+            mgmt_ns=system.mgmt_ns,
+            transfer_ns=system.transfer_ns,
+            migrations=system.migrations,
+            demotions=system.demotions,
+            footprint_bytes=self.trace.footprint_bytes,
+            peak_local_pages=dict(system.peak_local_pages),
+            peak_local_lines=dict(system.peak_local_lines),
+        )
+        result.stats["freq_ghz"] = system.config.core.freq_ghz
+        result.stats["back_invalidations"] = system.back_invalidations
+        if system.ledger is not None:
+            ledger = system.ledger
+            result.stats["harmful_migrations"] = ledger.harmful_migrations
+            result.stats["total_migrations"] = ledger.total_migrations
+            result.stats["harmful_fraction"] = ledger.harmful_fraction
+        if system.engine is not None:
+            counters = system.engine.counters
+            result.stats["pipm_promotions"] = counters.promotions
+            result.stats["pipm_revocations"] = counters.revocations
+            result.stats["pipm_incremental_migrations"] = (
+                counters.incremental_migrations
+            )
+            result.stats["pipm_migrate_backs"] = counters.migrate_backs
+            result.stats["global_remap_cache_hit_rate"] = (
+                system.engine.global_cache.hit_rate
+            )
+            local_caches = system.engine.local_caches
+            hits = sum(c.hits for c in local_caches)
+            misses = sum(c.misses for c in local_caches)
+            result.stats["local_remap_cache_hit_rate"] = (
+                hits / (hits + misses) if hits + misses else 0.0
+            )
+        return result
+
+
+def simulate(
+    trace: WorkloadTrace,
+    scheme: MigrationScheme,
+    config: Optional[SystemConfig] = None,
+    **system_kwargs,
+) -> SimulationResult:
+    """Convenience: build a system for ``scheme`` and run ``trace``."""
+    if config is None:
+        config = SystemConfig.scaled()
+    system_kwargs.setdefault(
+        "footprint_pages", max(1, trace.footprint_bytes // 4096)
+    )
+    system = MultiHostSystem(
+        config, scheme, workload_mlp=trace.mlp, **system_kwargs
+    )
+    return SimulationEngine(system, trace).run()

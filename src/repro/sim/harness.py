@@ -1,0 +1,106 @@
+"""Experiment harness: the entry point examples and benches build on.
+
+``run_experiment`` generates (or reuses) a workload trace and simulates it
+under one scheme; ``compare_schemes`` runs a list of schemes over one
+workload and reports results keyed by scheme name, with Native first so
+speedups can be normalized the way every figure in the paper is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..config import SystemConfig
+from ..policies import make_scheme
+from ..policies.base import MigrationScheme
+from ..workloads.registry import generate
+from ..workloads.trace import WorkloadScale, WorkloadTrace
+from .engine import simulate
+from .results import SimulationResult
+
+SchemeLike = Union[str, MigrationScheme]
+
+#: The paper's Fig. 10 scheme order.
+DEFAULT_SCHEMES = (
+    "native",
+    "nomad",
+    "memtis",
+    "hemem",
+    "os-skew",
+    "hw-static",
+    "pipm",
+    "local-only",
+)
+
+
+def _as_scheme(scheme: SchemeLike) -> MigrationScheme:
+    if isinstance(scheme, MigrationScheme):
+        return scheme
+    return make_scheme(scheme)
+
+
+def run_experiment(
+    workload: Union[str, WorkloadTrace],
+    scheme: SchemeLike,
+    config: Optional[SystemConfig] = None,
+    scale: Optional[WorkloadScale] = None,
+    **system_kwargs,
+) -> SimulationResult:
+    """Simulate one (workload, scheme) pair."""
+    if config is None:
+        config = SystemConfig.scaled()
+    if isinstance(workload, str):
+        trace = generate(
+            workload,
+            num_hosts=config.num_hosts,
+            scale=scale,
+            cores_per_host=config.cores_per_host,
+        )
+    else:
+        trace = workload
+    return simulate(trace, _as_scheme(scheme), config, **system_kwargs)
+
+
+def compare_schemes(
+    workload: Union[str, WorkloadTrace],
+    schemes: Iterable[SchemeLike] = DEFAULT_SCHEMES,
+    config: Optional[SystemConfig] = None,
+    scale: Optional[WorkloadScale] = None,
+    **system_kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run several schemes over the same trace; returns ``{name: result}``.
+
+    The trace is generated once and replayed for every scheme so the
+    comparison is apples-to-apples (the paper's methodology).
+    """
+    if config is None:
+        config = SystemConfig.scaled()
+    if isinstance(workload, str):
+        trace = generate(
+            workload,
+            num_hosts=config.num_hosts,
+            scale=scale,
+            cores_per_host=config.cores_per_host,
+        )
+    else:
+        trace = workload
+    results: Dict[str, SimulationResult] = {}
+    for scheme in schemes:
+        instance = _as_scheme(scheme)
+        results[instance.name] = simulate(trace, instance, config,
+                                          **system_kwargs)
+    return results
+
+
+def speedups_over_native(
+    results: Dict[str, SimulationResult]
+) -> Dict[str, float]:
+    """Per-scheme execution-time speedup vs the ``native`` run."""
+    if "native" not in results:
+        raise ValueError("speedups need a 'native' baseline run")
+    native = results["native"]
+    return {
+        name: result.speedup_over(native)
+        for name, result in results.items()
+        if name != "native"
+    }

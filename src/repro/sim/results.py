@@ -1,0 +1,132 @@
+"""Simulation results: service-point taxonomy and the result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List
+
+from ..stats import ratio
+
+
+class ServicePoint(IntEnum):
+    """Where a memory access was ultimately served."""
+
+    L1 = 0
+    LLC = 1
+    LOCAL_MEM = 2  # host-local DRAM (private data or kernel-migrated pages)
+    PIPM_LOCAL = 3  # a PIPM-migrated line served from local DRAM
+    CXL_MEM = 4  # shared pool, 2-hop cacheable access
+    CXL_FWD = 5  # dirty in another host's cache: 4-hop owner forward
+    INTER_HOST = 6  # access to data in another host's local memory (4-hop)
+
+
+#: Service points that count as "local memory" for Fig. 11 (DRAM-level
+#: accesses served from the requester's local DRAM).
+LOCAL_SERVICE = (ServicePoint.LOCAL_MEM, ServicePoint.PIPM_LOCAL)
+#: Service points that reach DRAM at all (denominator of Fig. 11).
+MEMORY_SERVICE = (
+    ServicePoint.LOCAL_MEM,
+    ServicePoint.PIPM_LOCAL,
+    ServicePoint.CXL_MEM,
+    ServicePoint.CXL_FWD,
+    ServicePoint.INTER_HOST,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces, ready for the figure harnesses."""
+
+    workload: str
+    scheme: str
+    num_hosts: int
+    exec_time_ns: float  # max over hosts (parallel completion)
+    host_time_ns: List[float]
+    instructions: int
+    accesses: int
+    service_counts: Dict[int, int]
+    stall_ns_by_service: Dict[int, float]
+    mgmt_ns: float  # kernel migration management time (all hosts)
+    transfer_ns: float  # migration data-transfer serialization time
+    migrations: int  # whole pages (kernel) or promoted pages (PIPM)
+    demotions: int
+    footprint_bytes: int
+    peak_local_pages: Dict[int, int] = field(default_factory=dict)
+    peak_local_lines: Dict[int, int] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- headline metrics ------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        if self.exec_time_ns <= 0:
+            return 0.0
+        # Aggregate IPC at 4 GHz over the parallel execution window.
+        freq_ghz = self.stats.get("freq_ghz", 4.0)
+        return self.instructions / (self.exec_time_ns * freq_ghz)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time speedup vs another run of the same workload."""
+        if self.workload != baseline.workload:
+            raise ValueError(
+                f"comparing different workloads: {self.workload} vs "
+                f"{baseline.workload}"
+            )
+        return ratio(baseline.exec_time_ns, self.exec_time_ns)
+
+    # -- Fig. 11: local memory hit rate -----------------------------------
+    @property
+    def local_hit_rate(self) -> float:
+        local = sum(self.service_counts.get(int(s), 0) for s in LOCAL_SERVICE)
+        total = sum(self.service_counts.get(int(s), 0) for s in MEMORY_SERVICE)
+        return ratio(local, total)
+
+    # -- Fig. 12: inter-host stall contribution ----------------------------
+    def inter_host_stall_fraction(self, native_exec_ns: float) -> float:
+        stall = self.stall_ns_by_service.get(int(ServicePoint.INTER_HOST), 0.0)
+        # Per-host average stall against the baseline execution window.
+        return ratio(stall / max(self.num_hosts, 1), native_exec_ns)
+
+    # -- Fig. 13: local footprint ratios ----------------------------------
+    @property
+    def local_page_footprint_fraction(self) -> float:
+        """Average per-host peak page-granular local allocation / footprint."""
+        if self.footprint_bytes <= 0 or not self.num_hosts:
+            return 0.0
+        pages = self.footprint_bytes / 4096
+        per_host = [
+            self.peak_local_pages.get(h, 0) for h in range(self.num_hosts)
+        ]
+        return ratio(sum(per_host) / self.num_hosts, pages)
+
+    @property
+    def local_line_footprint_fraction(self) -> float:
+        """Average per-host peak line-granular allocation / footprint."""
+        if self.footprint_bytes <= 0 or not self.num_hosts:
+            return 0.0
+        lines = self.footprint_bytes / 64
+        per_host = [
+            self.peak_local_lines.get(h, 0) for h in range(self.num_hosts)
+        ]
+        return ratio(sum(per_host) / self.num_hosts, lines)
+
+    # -- Fig. 4 breakdown ---------------------------------------------------
+    def breakdown_vs(self, native_exec_ns: float) -> Dict[str, float]:
+        """Execution-time components normalized to the native baseline."""
+        per_host_mgmt = self.mgmt_ns / max(self.num_hosts, 1)
+        per_host_transfer = self.transfer_ns / max(self.num_hosts, 1)
+        other = max(self.exec_time_ns - per_host_mgmt - per_host_transfer, 0.0)
+        return {
+            "other": ratio(other, native_exec_ns),
+            "management": ratio(per_host_mgmt, native_exec_ns),
+            "transfer": ratio(per_host_transfer, native_exec_ns),
+            "total": ratio(self.exec_time_ns, native_exec_ns),
+        }
+
+    def summary(self) -> str:
+        points = {ServicePoint(k).name: v for k, v in self.service_counts.items()}
+        return (
+            f"{self.workload}/{self.scheme}: exec={self.exec_time_ns / 1e6:.3f}ms "
+            f"ipc={self.ipc:.2f} local_hit={self.local_hit_rate:.1%} "
+            f"migrations={self.migrations} services={points}"
+        )

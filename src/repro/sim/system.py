@@ -1,0 +1,737 @@
+"""The multi-host CXL-DSM system model.
+
+Wires hosts (cores, L1s, LLC, local directory, local DRAM, TLB) to the CXL
+memory node (device coherence directory, CXL DRAM, global remapping
+table/cache) over per-host CXL links, and implements the access workflows
+of the paper for all three placement mechanisms:
+
+* **baseline CXL-DSM** (Fig. 2): cacheable 2-hop CXL access, 4-hop
+  owner-forward when another host caches the line dirty, device-directory
+  capacity back-invalidation;
+* **kernel page migration / GIM** (Fig. 3): pages migrated to one host's
+  local memory are served locally by that host and via the *non-cacheable
+  4-hop* path by every other host; migration batches charge page-table /
+  TLB management time and occupy link + DRAM bandwidth;
+* **PIPM** (Figs. 7 and 9): local/global remapping table lookups,
+  majority-vote promotion, incremental migration on LLC eviction,
+  migrate-back on inter-host access, revocation.
+
+The model charges latency at memory-access granularity; every latency
+constant comes from :class:`repro.config.SystemConfig` (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import units
+from ..analysis.harmful import MigrationLedger
+from ..cache.directory import SlicedDirectory
+from ..config import SystemConfig
+from ..host.host import Host
+from ..mem.address import AddressMap, FrameAllocator
+from ..mem.controller import MemoryController
+from ..mem.cxl_link import CONTROL_BYTES, TO_DEVICE, TO_HOST, CxlLink
+from ..pipm.engine import PipmEngine
+from ..pipm.remap_global import NO_HOST
+from ..policies.base import Mechanism, MigrationScheme
+from ..policies.costs import KernelCostModel
+from ..stats import StatRegistry
+from .results import ServicePoint
+
+_S = 1
+_M = 3
+
+_SVC_L1 = int(ServicePoint.L1)
+_SVC_LLC = int(ServicePoint.LLC)
+_SVC_LOCAL = int(ServicePoint.LOCAL_MEM)
+_SVC_PIPM = int(ServicePoint.PIPM_LOCAL)
+_SVC_CXL = int(ServicePoint.CXL_MEM)
+_SVC_FWD = int(ServicePoint.CXL_FWD)
+_SVC_INTER = int(ServicePoint.INTER_HOST)
+
+_LINES_MASK = units.LINES_PER_PAGE - 1
+_LINE_TO_PAGE = units.PAGE_SHIFT - units.LINE_SHIFT
+
+
+class MultiHostSystem:
+    """A complete multi-host CXL-DSM machine running one scheme."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: MigrationScheme,
+        workload_mlp: float = 4.0,
+        stats: Optional[StatRegistry] = None,
+        infinite_global_remap_cache: bool = False,
+        infinite_local_remap_cache: bool = False,
+        footprint_pages: Optional[int] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.scheme = scheme
+        self.stats = stats if stats is not None else StatRegistry()
+        self.address_map = AddressMap(
+            config.num_hosts,
+            config.cxl_dram.capacity_bytes,
+            config.local_dram.capacity_bytes,
+        )
+        self.hosts = [
+            Host(h, config, self.stats.scoped(f"host{h}"), workload_mlp)
+            for h in range(config.num_hosts)
+        ]
+        self.links = [
+            CxlLink(config.cxl_link, self.stats.scoped(f"link{h}"))
+            for h in range(config.num_hosts)
+        ]
+        self.device_dir = SlicedDirectory(
+            config.directory.sets,
+            config.directory.ways,
+            config.directory.slices,
+            name="device-dir",
+        )
+        self.cxl_mem = MemoryController(
+            config.cxl_dram, self.stats.scoped("cxl_mem")
+        )
+
+        frames_per_host = int(
+            config.local_dram.capacity_bytes
+            * config.migration_capacity_fraction
+        ) // units.PAGE_SIZE
+
+        # -- latency constants (ns) ------------------------------------
+        self._l1_ns = config.l1.latency_ns
+        self._llc_ns = config.llc.latency_ns
+        self._ldir_ns = config.local_dir_latency_ns
+        self._ddir_ns = config.directory.latency_ns
+        self._grc_ns = config.pipm.global_remap_cache_latency_ns
+        self._lrc_ns = config.pipm.local_remap_cache_latency_ns
+
+        # -- mechanism state -----------------------------------------------
+        self.mechanism = scheme.mechanism
+        self.all_local = scheme.all_local
+        scheme.bind(config.num_hosts, frames_per_host)
+
+        self.engine: Optional[PipmEngine] = None
+        self.page_map: Dict[int, int] = {}
+        self._page_frames: Dict[int, int] = {}
+        self.frames: List[FrameAllocator] = []
+        self.dirty_pages: set = set()
+        self.ledger: Optional[MigrationLedger] = None
+        self._cost_model: Optional[KernelCostModel] = None
+        self._next_interval: Optional[float] = None
+
+        if self.mechanism is Mechanism.PIPM:
+            static_frames = (
+                self.address_map.cxl_capacity // units.PAGE_SIZE
+                // config.num_hosts
+                + 1
+            )
+            self.engine = PipmEngine(
+                config.pipm,
+                config.num_hosts,
+                config.cxl_dram.capacity_bytes,
+                static_frames if scheme.static_map else frames_per_host,
+                static_map=scheme.static_map,
+                infinite_global_cache=infinite_global_remap_cache,
+                infinite_local_cache=infinite_local_remap_cache,
+            )
+        elif self.mechanism is Mechanism.PAGE_MAP:
+            kernel_frames = frames_per_host
+            if footprint_pages is not None:
+                kernel_frames = min(
+                    kernel_frames,
+                    max(16, int(config.kernel.resident_fraction_cap
+                                * footprint_pages)),
+                )
+            self.frames = [
+                FrameAllocator(kernel_frames)
+                for _ in range(config.num_hosts)
+            ]
+            kernel_cfg = config.kernel
+            scale = getattr(scheme, "initiator_cost_scale", 1.0)
+            if scale != 1.0:
+                import dataclasses
+
+                kernel_cfg = dataclasses.replace(
+                    kernel_cfg,
+                    initiator_cost_ns=kernel_cfg.initiator_cost_ns * scale,
+                )
+            self._cost_model = KernelCostModel(kernel_cfg, config.num_hosts)
+            self.ledger = MigrationLedger(config)
+            interval = scheme.interval_ns()
+            if interval is None:
+                # The scheme inherits the configured interval — and must be
+                # told, since interval-relative policy logic (e.g. Nomad's
+                # inactive-list aging) depends on it.
+                interval = config.kernel.interval_ns
+                if hasattr(scheme, "_interval_ns"):
+                    scheme._interval_ns = interval
+            self._interval_ns = interval
+            self._next_interval = interval
+
+        # -- run counters -------------------------------------------------
+        self.svc_counts = [0] * 7
+        self.migrations = 0
+        self.demotions = 0
+        self.mgmt_ns = 0.0
+        self.transfer_ns = 0.0
+        self.peak_local_pages: Dict[int, int] = {}
+        self.peak_local_lines: Dict[int, int] = {}
+        self.back_invalidations = 0
+
+    # ==================================================================
+    # The access path
+    # ==================================================================
+    def access(
+        self, host_id: int, core: int, addr: int, is_write: bool, now: float
+    ) -> Tuple[float, int]:
+        """Service one memory access; returns ``(latency_ns, service_point)``."""
+        line = addr >> units.LINE_SHIFT
+        page = line >> _LINE_TO_PAGE
+        host = self.hosts[host_id]
+
+        shared = addr < self.address_map.cxl_end
+        lat = host.tlb.translate(page) + self._l1_ns
+        l1 = host.l1_for(core)
+        entry = l1.lookup(line)
+        if entry is not None:
+            if is_write:
+                if shared and not entry.dirty and entry.state == 0:
+                    # Write hit on a Shared copy: S -> M upgrade must
+                    # invalidate the other hosts' copies first.
+                    lat += self._upgrade(host_id, line, now)
+                    entry.state = 1
+                    llc_copy = host.llc.peek(line)
+                    if llc_copy is not None:
+                        llc_copy.state = 1
+                        llc_copy.dirty = True
+                entry.dirty = True
+            self.svc_counts[_SVC_L1] += 1
+            return lat, _SVC_L1
+
+        # Kernel-migrated pages are non-cacheable at *other* hosts: skip the
+        # cache hierarchy entirely (Section 3.1).
+        if shared and self.mechanism is Mechanism.PAGE_MAP:
+            loc = self.page_map.get(page)
+            if loc is not None and loc != host_id:
+                return self._inter_host_nc(host_id, loc, page, addr,
+                                           is_write, now, lat)
+        else:
+            loc = None
+
+        llc_entry = host.llc.lookup(line)
+        lat += self._llc_ns
+        if llc_entry is not None:
+            if is_write and not llc_entry.dirty and llc_entry.state == 0:
+                # Upgrade an S copy: other sharers must be invalidated.
+                lat += self._upgrade(host_id, line, now)
+                llc_entry.state = 1
+            if is_write:
+                llc_entry.dirty = True
+            self._fill_l1(host, l1, line, is_write,
+                          exclusive=llc_entry.state or 0)
+            self.svc_counts[_SVC_LLC] += 1
+            return lat, _SVC_LLC
+
+        if not shared:
+            # Host-private data (stacks, code, kernel structures).
+            lat += self._ldir_ns + host.local_mem.read_line(addr, now)
+            self._fill(host, l1, line, page, is_write, exclusive=True, now=now)
+            self.svc_counts[_SVC_LOCAL] += 1
+            return lat, _SVC_LOCAL
+
+        if self.all_local:
+            # Local-only / Ideal: everything served at local latency.
+            lat += self._ldir_ns + host.local_mem.read_line(addr, now)
+            self._fill(host, l1, line, page, is_write, exclusive=True, now=now)
+            self.svc_counts[_SVC_LOCAL] += 1
+            return lat, _SVC_LOCAL
+
+        host.page_table.touch(page)
+
+        if self.mechanism is Mechanism.PIPM:
+            return self._shared_pipm(host_id, l1, line, page, addr,
+                                     is_write, now, lat)
+
+        if self.mechanism is Mechanism.PAGE_MAP:
+            self.scheme.observe_shared_access(host_id, page, now, is_write)
+            if loc == host_id:
+                # Our own migrated page: a plain local-memory access.
+                if self.ledger is not None:
+                    self.ledger.record_local_access(page)
+                if is_write:
+                    self.dirty_pages.add(page)
+                lat += self._ldir_ns + host.local_mem.read_line(addr, now)
+                self._fill(host, l1, line, page, is_write, exclusive=True,
+                           now=now)
+                self.svc_counts[_SVC_LOCAL] += 1
+                return lat, _SVC_LOCAL
+
+        # Baseline cacheable CXL-DSM access (native / page in CXL).
+        extra, svc, exclusive = self._cxl_access(host_id, line, addr,
+                                                 is_write, now)
+        self._fill(host, l1, line, page, is_write, exclusive=exclusive,
+                   now=now)
+        self.svc_counts[svc] += 1
+        return lat + extra, svc
+
+    # ------------------------------------------------------------------
+    # Baseline CXL-DSM workflows (Fig. 2)
+    # ------------------------------------------------------------------
+    def _cxl_access(
+        self, host_id: int, line: int, addr: int, is_write: bool, now: float
+    ) -> Tuple[float, int, bool]:
+        """2-hop cacheable CXL access, or 4-hop dirty-owner forward.
+
+        Returns ``(latency, service_point, exclusive)`` — ``exclusive`` is
+        True when the requester ends up the line's only holder (M, or S
+        with no other sharers), which decides whether a later write hit
+        needs an upgrade transaction.
+        """
+        link = self.links[host_id]
+        lat = link.round_trip(now, CONTROL_BYTES, units.CACHE_LINE)
+        lat += self._ddir_ns
+        entry = self.device_dir.lookup(line)
+        svc = _SVC_CXL
+        if (
+            entry is not None
+            and entry.state == _M
+            and entry.owner != host_id
+            and entry.owner >= 0
+            and self.hosts[entry.owner].holds_line(line)
+        ):
+            owner = entry.owner
+            # Forward to the owner; dirty data returns via the CXL node.
+            lat += (
+                self.links[owner].round_trip(now, CONTROL_BYTES,
+                                             units.CACHE_LINE)
+                + self._ldir_ns
+                + self._llc_ns
+            )
+            if is_write:
+                self.hosts[owner].invalidate_line(line)
+            else:
+                self.hosts[owner].downgrade_line(line)
+            self.cxl_mem.write_line(addr, now)  # async writeback (occupancy)
+            svc = _SVC_FWD
+        else:
+            lat += self.cxl_mem.read_line(addr, now)
+
+        new_entry = self._dir_update(host_id, line, is_write, entry, now)
+        exclusive = is_write or len(new_entry.sharers) <= 1
+        return lat, svc, exclusive
+
+    def _dir_update(self, host_id, line, is_write, entry, now):
+        if is_write:
+            if entry is not None:
+                for sharer in entry.sharers:
+                    if sharer != host_id:
+                        self.hosts[sharer].invalidate_line(line)
+            new_entry, victim = self.device_dir.allocate(line, _M, host_id)
+            new_entry.sharers = {host_id}
+        else:
+            new_entry, victim = self.device_dir.allocate(line, _S, -1)
+            if new_entry.state == _M:
+                new_entry.state = _S
+            # E -> S downgrade: earlier sole holders lose exclusivity.
+            for sharer in new_entry.sharers:
+                if sharer != host_id:
+                    self._drop_exclusivity(sharer, line)
+            new_entry.sharers.add(host_id)
+        if victim is not None:
+            self._back_invalidate(victim, now)
+        return new_entry
+
+    def _drop_exclusivity(self, host_id: int, line: int) -> None:
+        host = self.hosts[host_id]
+        entry = host.llc.peek(line)
+        if entry is not None:
+            entry.state = 0
+        for l1 in host.l1s:
+            l1_entry = l1.peek(line)
+            if l1_entry is not None:
+                l1_entry.state = 0
+
+    def _back_invalidate(self, victim, now: float) -> None:
+        """Device-directory capacity eviction: recall the line everywhere."""
+        self.back_invalidations += 1
+        holders = set(victim.sharers)
+        if victim.owner >= 0:
+            holders.add(victim.owner)
+        for holder in holders:
+            dirty = self.hosts[holder].invalidate_line(victim.line)
+            if dirty:
+                base = victim.line << units.LINE_SHIFT
+                self.links[holder].transfer(TO_DEVICE, now, units.CACHE_LINE)
+                self.cxl_mem.write_line(base, now)
+
+    def _upgrade(self, host_id: int, line: int, now: float) -> float:
+        """S -> M upgrade: invalidate other sharers through the device dir."""
+        lat = self.links[host_id].round_trip(now, CONTROL_BYTES, CONTROL_BYTES)
+        lat += self._ddir_ns
+        entry = self.device_dir.peek(line)
+        if entry is not None:
+            for sharer in list(entry.sharers):
+                if sharer != host_id:
+                    self.hosts[sharer].invalidate_line(line)
+            entry.sharers = {host_id}
+            entry.state = _M
+            entry.owner = host_id
+        return lat
+
+    # ------------------------------------------------------------------
+    # GIM non-cacheable inter-host path (Fig. 3, steps 1-5)
+    # ------------------------------------------------------------------
+    def _inter_host_nc(
+        self, host_id, owner, page, addr, is_write, now, lat
+    ) -> Tuple[float, int]:
+        owner_host = self.hosts[owner]
+        line = addr >> units.LINE_SHIFT
+        # Requester -> CXL node (routing by unified PA) -> owner -> back.
+        lat += self.links[host_id].round_trip(
+            now, CONTROL_BYTES,
+            CONTROL_BYTES if is_write else units.CACHE_LINE,
+        )
+        lat += self._ddir_ns  # RC routing at the CXL node
+        lat += self.links[owner].round_trip(
+            now,
+            units.CACHE_LINE if is_write else CONTROL_BYTES,
+            units.CACHE_LINE,
+        )
+        lat += self._ldir_ns
+        if owner_host.holds_line(line):
+            lat += self._llc_ns
+            if is_write:
+                entry = owner_host.llc.peek(line)
+                if entry is not None:
+                    entry.dirty = True
+        else:
+            lat += owner_host.local_mem.read_line(addr, now)
+        if is_write:
+            self.dirty_pages.add(page)
+        self.scheme.observe_shared_access(host_id, page, now, is_write)
+        if self.ledger is not None:
+            self.ledger.record_remote_access(page)
+        self.svc_counts[_SVC_INTER] += 1
+        return lat, _SVC_INTER
+
+    # ------------------------------------------------------------------
+    # PIPM workflows (Figs. 7 and 9)
+    # ------------------------------------------------------------------
+    def _shared_pipm(
+        self, host_id, l1, line, page, addr, is_write, now, lat
+    ) -> Tuple[float, int]:
+        engine = self.engine
+        host = self.hosts[host_id]
+        line_in_page = line & _LINES_MASK
+
+        # Local remapping lookup decides I vs I' (Section 4.3.3).
+        entry, cache_hit = engine.local_lookup(host_id, page)
+        lat += self._lrc_ns
+        if not cache_hit:
+            # Two-level radix walk in local DRAM.
+            lat += 2 * host.local_mem.read_line(addr, now)
+
+        if entry is not None and entry.line_migrated(line_in_page):
+            # Case 3 of Fig. 9: I' -> ME, served from local memory.
+            engine.record_local_access(entry)
+            lat += self._ldir_ns + host.local_mem.read_line(addr, now)
+            self._fill(host, l1, line, page, is_write, exclusive=True, now=now)
+            self.svc_counts[_SVC_PIPM] += 1
+            return lat, _SVC_PIPM
+
+        if entry is not None:
+            # The page is partially migrated here but this line still lives
+            # in CXL memory; the access still counts as local interest.
+            engine.record_local_access(entry)
+
+        # -> CXL memory node.  The global remapping lookup rides the same
+        # request/response the device-directory transaction uses, so only
+        # the cache probe (and a table walk on a miss) adds latency; the
+        # link round-trip itself is charged by the serving path below.
+        lat += self._grc_ns
+        if not engine.device_lookup(page):
+            # Global remapping table access in CXL DRAM.
+            lat += self.cxl_mem.read_line(page << units.PAGE_SHIFT, now)
+
+        if engine.static_map:
+            current = engine.static_home(page)
+            if current == host_id:
+                current = NO_HOST  # handled as a plain CXL access below
+        else:
+            current = engine.global_table.current_host(page)
+
+        if current != NO_HOST and current != host_id:
+            migrated, revoked = engine.inter_host_access(
+                current, page, line_in_page
+            )
+            if revoked:
+                self._revocation_transfer(current, page, revoked, now)
+            if migrated:
+                # Cases 2/5/6: 4-hop to the owner's local memory; the line
+                # migrates back to CXL and the requester caches it normally.
+                owner_host = self.hosts[current]
+                lat += self.links[host_id].round_trip(
+                    now, CONTROL_BYTES, units.CACHE_LINE
+                )
+                lat += self._ddir_ns
+                lat += self.cxl_mem.read_line(addr, now)  # verify I' bit
+                lat += self.links[current].round_trip(
+                    now, CONTROL_BYTES, units.CACHE_LINE
+                )
+                lat += self._ldir_ns
+                if owner_host.holds_line(line):  # ME cached (cases 5/6)
+                    lat += self._llc_ns
+                    if is_write:
+                        owner_host.invalidate_line(line)
+                    else:
+                        owner_host.downgrade_line(line)
+                else:
+                    lat += owner_host.local_mem.read_line(addr, now)
+                self.cxl_mem.write_line(addr, now)  # async migrate-back
+                self._dir_update(host_id, line, is_write, None, now)
+                self._fill(host, l1, line, page, is_write, exclusive=True,
+                           now=now)
+                self.svc_counts[_SVC_INTER] += 1
+                return lat, _SVC_INTER
+            # Line not migrated: fall through to the plain CXL access.
+
+        if current == NO_HOST:
+            dest = engine.record_cxl_access(page, host_id)
+            if dest is not None:
+                self.migrations += 1
+                self._track_engine_peaks(dest)
+
+        extra, svc, exclusive = self._cxl_access(host_id, line, addr,
+                                                 is_write, now)
+        self._fill(host, l1, line, page, is_write, exclusive=exclusive,
+                   now=now)
+        self.svc_counts[svc] += 1
+        return lat + extra, svc
+
+    def _revocation_transfer(
+        self, owner: int, page: int, lines: List[int], now: float
+    ) -> None:
+        """Bulk write-back of a revoked page's migrated lines (step 6)."""
+        self.demotions += 1
+        size = len(lines) * units.CACHE_LINE
+        if size:
+            self.links[owner].transfer(TO_DEVICE, now, size)
+            self.transfer_ns += units.transfer_ns(
+                size, self.config.cxl_link.bandwidth_gbs
+            )
+            base = page << units.PAGE_SHIFT
+            for line_in_page in lines:
+                self.cxl_mem.write_line(
+                    base + line_in_page * units.CACHE_LINE, now
+                )
+        # The revoked page's lines must leave the owner's caches too.
+        base_line = page << _LINE_TO_PAGE
+        owner_host = self.hosts[owner]
+        for line_in_page in lines:
+            owner_host.invalidate_line(base_line + line_in_page)
+
+    def _track_engine_peaks(self, host: int) -> None:
+        table = self.engine.local_tables[host]
+        pages = len(table)
+        if pages > self.peak_local_pages.get(host, 0):
+            self.peak_local_pages[host] = pages
+
+    # ------------------------------------------------------------------
+    # Cache fills and evictions
+    # ------------------------------------------------------------------
+    def _fill_l1(self, host: Host, l1, line: int, is_write: bool,
+                 exclusive: int = 1) -> None:
+        victim = l1.fill(line, dirty=is_write, state=exclusive)
+        if victim is not None and victim.dirty:
+            llc_entry = host.llc.peek(victim.line)
+            if llc_entry is not None:
+                llc_entry.dirty = True
+
+    def _fill(
+        self, host: Host, l1, line: int, page: int, is_write: bool,
+        exclusive: bool, now: float,
+    ) -> None:
+        self._fill_l1(host, l1, line, is_write, exclusive=1 if exclusive else 0)
+        victim = host.llc.fill(line, dirty=is_write,
+                               state=1 if exclusive else 0)
+        if victim is not None:
+            self._handle_llc_eviction(host, victim, now)
+
+    def _handle_llc_eviction(self, host: Host, victim, now: float) -> None:
+        line = victim.line
+        # Keep L1s inclusive: pull any L1 residue down with the eviction.
+        for l1 in host.l1s:
+            residue = l1.invalidate(line)
+            if residue is not None and residue.dirty:
+                victim.dirty = True
+        addr = line << units.LINE_SHIFT
+        if addr >= self.address_map.cxl_end:
+            if victim.dirty:
+                host.local_mem.write_line(addr, now)
+            return
+        page = line >> _LINE_TO_PAGE
+
+        if self.mechanism is Mechanism.PIPM:
+            engine = self.engine
+            entry = engine.local_tables[host.host_id].lookup(page)
+            if entry is not None and (victim.dirty or victim.state == 1):
+                # Case 1 (dirty M) / exclusive-clean incremental migration:
+                # the writeback lands in local DRAM and the bits flip.
+                engine.incremental_migrate(
+                    host.host_id, entry, line & _LINES_MASK
+                )
+                host.local_mem.write_line(addr, now)
+                self.device_dir.remove(line)
+                self._track_engine_lines(host.host_id)
+                return
+
+        if self.mechanism is Mechanism.PAGE_MAP:
+            loc = self.page_map.get(page)
+            if loc == host.host_id:
+                if victim.dirty:
+                    host.local_mem.write_line(addr, now)
+                return
+
+        if victim.dirty:
+            self.links[host.host_id].transfer(TO_DEVICE, now, units.CACHE_LINE)
+            self.cxl_mem.write_line(addr, now)
+        # Update device directory bookkeeping.
+        entry = self.device_dir.peek(line)
+        if entry is not None:
+            entry.sharers.discard(host.host_id)
+            if entry.owner == host.host_id:
+                entry.owner = -1
+                entry.state = _S if entry.sharers else _S
+            if not entry.sharers:
+                self.device_dir.remove(line)
+
+    def _track_engine_lines(self, host: int) -> None:
+        lines = self.engine.local_tables[host].migrated_line_total()
+        if lines > self.peak_local_lines.get(host, 0):
+            self.peak_local_lines[host] = lines
+
+    # ------------------------------------------------------------------
+    # Kernel migration intervals
+    # ------------------------------------------------------------------
+    def maybe_tick(self, now: float) -> None:
+        """Run the kernel migration interval if its boundary passed."""
+        if self._next_interval is None or now < self._next_interval:
+            return
+        while self._next_interval <= now:
+            self._next_interval += self._interval_ns
+        frames_free = {
+            h: self.frames[h].available for h in range(self.config.num_hosts)
+        }
+        plan = self.scheme.plan_interval(now, self.page_map, frames_free)
+        if plan.empty:
+            return
+        self._apply_plan(plan, now)
+
+    def _apply_plan(self, plan, now: float) -> None:
+        cost_model = self._cost_model
+        pages_by_initiator: Dict[int, int] = {}
+        free_clean = getattr(self.scheme, "free_clean_demotions", False)
+        moved_pages: List[int] = []
+
+        for page, src in plan.demotions:
+            if self.page_map.get(page) != src:
+                continue
+            del self.page_map[page]
+            pfn = self._page_frames.pop(page, None)
+            if pfn is not None:
+                self.frames[src].free(pfn)
+            self.demotions += 1
+            dirty = page in self.dirty_pages
+            self.dirty_pages.discard(page)
+            if dirty or not free_clean:
+                self._page_transfer(src, page, to_local=False, now=now)
+            pages_by_initiator[src] = pages_by_initiator.get(src, 0) + 1
+            self._flush_page(page)
+            moved_pages.append(page)
+            if self.ledger is not None:
+                self.ledger.record_demotion(page)
+
+        # Cap promotions at the kernel's migration throughput, round-robin
+        # across initiating hosts so one host's burst cannot starve others.
+        budget = cost_model.cap_pages(len(plan.promotions))
+        by_host: Dict[int, List] = {}
+        for page, dest in plan.promotions:
+            by_host.setdefault(dest, []).append((page, dest))
+        capped: List = []
+        while len(capped) < budget and any(by_host.values()):
+            for dest in list(by_host):
+                if by_host[dest]:
+                    capped.append(by_host[dest].pop(0))
+                    if len(capped) >= budget:
+                        break
+        for page, dest in capped:
+            if page in self.page_map:
+                continue
+            pfn = self.frames[dest].alloc()
+            if pfn is None:
+                continue
+            self.page_map[page] = dest
+            self._page_frames[page] = pfn
+            self.migrations += 1
+            pages_by_initiator[dest] = pages_by_initiator.get(dest, 0) + 1
+            self._page_transfer(dest, page, to_local=True, now=now)
+            self._flush_page(page)
+            moved_pages.append(page)
+            if self.ledger is not None:
+                self.ledger.record_migration(page, dest)
+            in_use = self.frames[dest].in_use
+            if in_use > self.peak_local_pages.get(dest, 0):
+                self.peak_local_pages[dest] = in_use
+                self.peak_local_lines[dest] = in_use * units.LINES_PER_PAGE
+
+        charge = cost_model.charge(pages_by_initiator)
+        for host_id, mgmt in charge.per_host_mgmt_ns.items():
+            self.hosts[host_id].clock_ns += mgmt
+        self.mgmt_ns += charge.total_mgmt_ns
+        for page in moved_pages:
+            for host in self.hosts:
+                host.tlb.shootdown(page)
+                host.page_table.remap(page)
+
+    def _page_transfer(self, host: int, page: int, to_local: bool,
+                       now: float) -> None:
+        """Occupy link + DRAM bandwidth for a whole-page migration."""
+        addr = page << units.PAGE_SHIFT
+        direction = TO_HOST if to_local else TO_DEVICE
+        self.links[host].transfer(direction, now, units.PAGE_SIZE)
+        self.transfer_ns += units.transfer_ns(
+            units.PAGE_SIZE, self.config.cxl_link.bandwidth_gbs
+        )
+        if to_local:
+            self.cxl_mem.transfer_page(addr, now)
+            self.hosts[host].local_mem.transfer_page(addr, now)
+        else:
+            self.hosts[host].local_mem.transfer_page(addr, now)
+            self.cxl_mem.transfer_page(addr, now)
+
+    def _flush_page(self, page: int) -> None:
+        """Invalidate a migrating page's lines from every cache + the dir."""
+        base_line = page << _LINE_TO_PAGE
+        for line in range(base_line, base_line + units.LINES_PER_PAGE):
+            for host in self.hosts:
+                host.invalidate_line(line)
+            self.device_dir.remove(line)
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        if self.ledger is not None:
+            self.ledger.finalize()
+        if self.engine is not None:
+            for h in range(self.config.num_hosts):
+                peak = self.engine.counters.peak_pages.get(h, 0)
+                if peak > self.peak_local_pages.get(h, 0):
+                    self.peak_local_pages[h] = peak
+                peak_l = self.engine.counters.peak_lines.get(h, 0)
+                if peak_l > self.peak_local_lines.get(h, 0):
+                    self.peak_local_lines[h] = peak_l
+            self.migrations = self.engine.counters.promotions
+            self.demotions = self.engine.counters.revocations

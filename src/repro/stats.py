@@ -1,0 +1,121 @@
+"""Lightweight statistics registry used by every simulator component.
+
+Components register named counters and accumulators on a shared
+:class:`StatRegistry`; the harness snapshots the registry into a plain
+dictionary at the end of a run.  Counters are plain attributes on purpose —
+the simulator hot loop bumps them millions of times, so there is no
+indirection beyond a dict lookup.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+
+class StatRegistry:
+    """A hierarchical bag of numeric statistics.
+
+    Keys are dotted paths (``"host0.llc.misses"``).  Values are ints or
+    floats.  ``add`` accumulates; ``put`` overwrites.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._values[key] += amount
+
+    def put(self, key: str, value: float) -> None:
+        self._values[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._values.get(key, default)
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        return ScopedStats(self, prefix)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy of every recorded statistic."""
+        return dict(self._values)
+
+    def merge(self, other: Mapping[str, float]) -> None:
+        for key, value in other.items():
+            self._values[key] += value
+
+    def keys(self) -> Iterable[str]:
+        return self._values.keys()
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatRegistry({len(self._values)} keys)"
+
+
+class ScopedStats:
+    """A view of a :class:`StatRegistry` under a fixed dotted prefix."""
+
+    def __init__(self, registry: StatRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".") + "."
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._registry.add(self._prefix + key, amount)
+
+    def put(self, key: str, value: float) -> None:
+        self._registry.put(self._prefix + key, value)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._registry.get(self._prefix + key, default)
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        return ScopedStats(self._registry, self._prefix + prefix)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram for latency/occupancy distributions."""
+
+    bucket_width: float
+    buckets: Dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative, got {value}")
+        bucket = int(value // self.bucket_width)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile (bucket upper edge)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0.0
+        target = fraction * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return (bucket + 1) * self.bucket_width
+        return self.maximum
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with a 0 denominator mapping to 0."""
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,98 @@
+"""Unit helpers shared across the simulator.
+
+The simulator keeps a single time base (nanoseconds, as floats) and a single
+size base (bytes, as ints).  These helpers make configuration values
+self-describing: ``50 * NS``, ``5 * GB_PER_S`` and so on.
+"""
+
+from __future__ import annotations
+
+# --- time (nanoseconds) ---
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+S = 1_000_000_000.0
+
+# --- sizes (bytes) ---
+B = 1
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+# --- architectural constants ---
+CACHE_LINE = 64
+PAGE_SIZE = 4096
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE
+LINE_SHIFT = 6
+PAGE_SHIFT = 12
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count at ``freq_ghz`` to nanoseconds."""
+    return cycles / freq_ghz
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> float:
+    """Convert nanoseconds to cycles at ``freq_ghz``."""
+    return ns * freq_ghz
+
+
+def transfer_ns(size_bytes: int, gb_per_s: float) -> float:
+    """Serialization time of ``size_bytes`` over a ``gb_per_s`` channel."""
+    if gb_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {gb_per_s}")
+    # 1 GB/s == 2**30 bytes / 1e9 ns
+    return size_bytes * 1e9 / (gb_per_s * GB)
+
+
+def line_addr(addr: int) -> int:
+    """Cache-line index of a byte address."""
+    return addr >> LINE_SHIFT
+
+
+def page_addr(addr: int) -> int:
+    """Page index (virtual frame number style) of a byte address."""
+    return addr >> PAGE_SHIFT
+
+
+def line_of_page(addr: int) -> int:
+    """Index of the cache line within its 4 KB page (0..63)."""
+    return (addr >> LINE_SHIFT) & (LINES_PER_PAGE - 1)
+
+
+def page_of_line(line: int) -> int:
+    """Page index of a cache-line index."""
+    return line >> (PAGE_SHIFT - LINE_SHIFT)
+
+
+def line_base(line: int) -> int:
+    """Byte address of the first byte of a cache-line index."""
+    return line << LINE_SHIFT
+
+
+def page_base(page: int) -> int:
+    """Byte address of the first byte of a page index."""
+    return page << PAGE_SHIFT
+
+
+def pretty_size(size_bytes: int) -> str:
+    """Human-readable size string (e.g. ``'48.0GB'``)."""
+    value = float(size_bytes)
+    for suffix in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or suffix == "TB":
+            if suffix == "B":
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def pretty_time(ns: float) -> str:
+    """Human-readable duration string (e.g. ``'1.25ms'``)."""
+    if ns < US:
+        return f"{ns:.1f}ns"
+    if ns < MS:
+        return f"{ns / US:.2f}us"
+    if ns < S:
+        return f"{ns / MS:.2f}ms"
+    return f"{ns / S:.3f}s"

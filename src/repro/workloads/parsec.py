@@ -1,0 +1,181 @@
+"""PARSEC 3.0 trace generators: streamcluster, fluidanimate, canneal, bodytrack.
+
+Each generator reproduces the benchmark's documented sharing structure at a
+scaled footprint:
+
+* **streamcluster** — each worker streams over its block of points
+  repeatedly (k-median gain evaluation) and all workers contend on the
+  small shared center set.
+* **fluidanimate** — spatial grid partitioned across hosts; interior cells
+  are host-private, *boundary* cells are shared between neighbouring hosts
+  on the same pages — the canonical fine-grained (sub-page) sharing pattern
+  partial migration targets.
+* **canneal** — random element swaps across the whole netlist from every
+  host: no affinity at all, the anti-migration stress case.
+* **bodytrack** — a read-shared body model + per-host particle sets
+  (annealed particle filter).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .. import units
+from .trace import (
+    MixtureComponent,
+    StreamBuilder,
+    WorkloadTrace,
+    partition_region,
+    random_lines,
+    seq_lines,
+)
+
+
+def _finish(ctx, name: str, streams, mlp: float, rw: float,
+            description: str) -> WorkloadTrace:
+    return WorkloadTrace(
+        name=name,
+        num_hosts=ctx.num_hosts,
+        streams=streams,
+        footprint_bytes=ctx.heap.used,
+        regions=list(ctx.heap.regions),
+        mlp=mlp,
+        read_write_ratio=rw,
+        description=description,
+    )
+
+
+def generate_streamcluster(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.62)
+    points = ctx.heap.alloc("points", footprint * 9 // 10)
+    centers = ctx.heap.alloc("centers", max(64 * units.KB, footprint // 10))
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 31 + host)
+        block = partition_region(points, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            MixtureComponent(
+                "point-stream", 0.72, seq_lines(block), 0.08, sequential=True,
+            ),
+            MixtureComponent(
+                "shared-centers", 0.28,
+                random_lines(rng, centers, n // 2, alpha=1.05),
+                0.25, sequential=False,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=10)
+        streams.append(builder.build(components, n))
+    return _finish(ctx, "streamcluster", streams, mlp=4.0, rw=0.88,
+                   description="PARSEC streamcluster (k-median streaming)")
+
+
+def generate_fluidanimate(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.52)
+    grid = ctx.heap.alloc("fluid_grid", footprint)
+
+    # Interior slabs per host plus shared boundary slabs between neighbours.
+    # Boundaries are deliberately *not* page-aligned multiples: neighbouring
+    # hosts touch lines of the same pages.
+    streams: List = []
+    boundary_lines = max(64, (grid.size // units.CACHE_LINE) // 50)
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 53 + host)
+        slab = partition_region(grid, host, ctx.num_hosts)
+        interior = seq_lines(slab)
+        # The boundary with the next host: the last/first lines of adjacent
+        # slabs, touched by both.
+        lo_bound = interior[:boundary_lines]
+        hi_bound = interior[-boundary_lines:]
+        next_slab = partition_region(grid, (host + 1) % ctx.num_hosts,
+                                     ctx.num_hosts)
+        neighbour_lines = seq_lines(next_slab)[:boundary_lines]
+        n = ctx.scale.accesses_per_host
+        components = [
+            MixtureComponent("interior", 0.62, interior, 0.4, sequential=True),
+            MixtureComponent(
+                "interior-rand", 0.18,
+                random_lines(rng, slab, n // 4), 0.35, sequential=False,
+            ),
+            MixtureComponent("own-boundary", 0.10,
+                             np.concatenate([lo_bound, hi_bound]),
+                             0.4, sequential=True),
+            MixtureComponent("neighbour-boundary", 0.10, neighbour_lines,
+                             0.25, sequential=True),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=11)
+        streams.append(builder.build(components, n))
+    return _finish(ctx, "fluidanimate", streams, mlp=4.5, rw=0.62,
+                   description="PARSEC fluidanimate (SPH grid, shared borders)")
+
+
+def generate_canneal(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.55)
+    netlist = ctx.heap.alloc("netlist", footprint)
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 97 + host)
+        own_slab = partition_region(netlist, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            # Swap candidates: uniformly random elements, read then written.
+            MixtureComponent(
+                "swap-elements", 0.42,
+                random_lines(rng, netlist, n), 0.45, sequential=False,
+            ),
+            # Each worker's candidate generator is seeded around its own
+            # slab (spatial annealing schedule): a per-host-affine tail.
+            MixtureComponent(
+                "own-neighbourhood", 0.43,
+                random_lines(rng, own_slab, n, alpha=1.05),
+                0.4, sequential=False,
+            ),
+            # Neighbour-cost evaluation: short random reads.
+            MixtureComponent(
+                "cost-eval", 0.15,
+                random_lines(rng, netlist, n // 2), 0.0, sequential=False,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=13)
+        streams.append(builder.build(components, n))
+    return _finish(ctx, "canneal", streams, mlp=2.5, rw=0.6,
+                   description="PARSEC canneal (random netlist swaps)")
+
+
+def generate_bodytrack(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.5)
+    model = ctx.heap.alloc("body_model", footprint * 4 // 10)
+    particles = ctx.heap.alloc("particles", footprint * 5 // 10)
+    weights = ctx.heap.alloc("weights", max(footprint // 10, units.PAGE_SIZE))
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 131 + host)
+        own = partition_region(particles, host, ctx.num_hosts)
+        own_w = partition_region(weights, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            MixtureComponent(
+                "model-read", 0.30,
+                random_lines(rng, model, n // 2, alpha=1.08),
+                0.0, sequential=False,
+            ),
+            MixtureComponent("own-particles", 0.50, seq_lines(own), 0.45,
+                             sequential=True),
+            MixtureComponent(
+                "own-weights", 0.15,
+                random_lines(rng, own_w, n // 4), 0.5, sequential=False,
+            ),
+            MixtureComponent(
+                "shared-weights", 0.05,
+                random_lines(rng, weights, n // 8), 0.2, sequential=False,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=12)
+        streams.append(builder.build(components, n))
+    return _finish(ctx, "bodytrack", streams, mlp=3.5, rw=0.68,
+                   description="PARSEC bodytrack (annealed particle filter)")

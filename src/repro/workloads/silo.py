@@ -1,0 +1,146 @@
+"""Silo in-memory database trace generators: TPC-C and YCSB (Table 1).
+
+The paper runs TPC-C (default mix) and YCSB (R:W 4:1) on Silo with the
+database instance in shared CXL-DSM.  Transaction routing gives the access
+streams their sharing structure:
+
+* **TPC-C** — each host fronts its *home warehouses*: ~85% of new-order /
+  payment traffic hits the host's own slices of customer/stock (page-affine
+  but mixed with remote rows on shared pages), ~15% is remote-warehouse
+  (cross-host), and the tiny warehouse/district rows are contested
+  read-write hotspots.  Order-lines are per-host append streams.
+* **YCSB** — one table, global zipfian key popularity shared by all hosts
+  (the hot keys are hot *everywhere*, so page migration is contested), plus
+  a per-host uniform tail; 4:1 read:write.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .. import units
+from .trace import (
+    MixtureComponent,
+    StreamBuilder,
+    WorkloadTrace,
+    partition_region,
+    random_lines,
+    seq_lines,
+)
+
+
+def generate_tpcc(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.7)
+    warehouse = ctx.heap.alloc("warehouse", max(16 * units.KB, footprint // 64))
+    district = ctx.heap.alloc("district", max(32 * units.KB, footprint // 32))
+    customer = ctx.heap.alloc("customer", footprint * 4 // 10)
+    stock = ctx.heap.alloc("stock", footprint * 4 // 10)
+    orders = ctx.heap.alloc("orders", footprint * 15 // 100)
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 173 + host)
+        own_customer = partition_region(customer, host, ctx.num_hosts)
+        own_stock = partition_region(stock, host, ctx.num_hosts)
+        own_orders = partition_region(orders, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            MixtureComponent(
+                "home-customer", 0.28,
+                random_lines(rng, own_customer, n, alpha=1.05),
+                0.3, sequential=False,
+            ),
+            MixtureComponent(
+                "home-stock", 0.27,
+                random_lines(rng, own_stock, n, alpha=1.02),
+                0.35, sequential=False,
+            ),
+            MixtureComponent(
+                "remote-rows", 0.10,
+                np.concatenate([
+                    random_lines(rng, customer, n // 8),
+                    random_lines(rng, stock, n // 8),
+                ]),
+                0.3, sequential=False,
+            ),
+            MixtureComponent(
+                "warehouse-hot", 0.08,
+                random_lines(rng, warehouse, n // 8, alpha=1.2),
+                0.5, sequential=False,
+            ),
+            MixtureComponent(
+                "district-hot", 0.09,
+                random_lines(rng, district, n // 8, alpha=1.15),
+                0.45, sequential=False,
+            ),
+            MixtureComponent(
+                "orderline-append", 0.18, seq_lines(own_orders),
+                0.9, sequential=True,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=14)
+        streams.append(builder.build(components, n))
+
+    return WorkloadTrace(
+        name="tpcc",
+        num_hosts=ctx.num_hosts,
+        streams=streams,
+        footprint_bytes=ctx.heap.used,
+        regions=list(ctx.heap.regions),
+        mlp=3.0,
+        read_write_ratio=0.62,
+        description="TPC-C (default mix) on Silo over CXL-DSM",
+    )
+
+
+def generate_ycsb(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.6)
+    records = ctx.heap.alloc("records", footprint * 9 // 10)
+    index = ctx.heap.alloc("index", max(footprint // 10, units.PAGE_SIZE))
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 211 + host)
+        own_slice = partition_region(records, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            # Global zipf: the same hot keys for every host (contested).
+            # At production scale the hot set spreads across thousands of
+            # pages, so per-page contention is broad but shallow — modelled
+            # with a flat zipf exponent.
+            MixtureComponent(
+                "global-zipf", 0.15,
+                random_lines(rng, records, n, alpha=1.02),
+                0.2, sequential=False,
+            ),
+            # Load balancers shard key ranges: each host is hot on its slice.
+            MixtureComponent(
+                "own-zipf", 0.60,
+                random_lines(rng, own_slice, n, alpha=1.1),
+                0.2, sequential=False,
+            ),
+            MixtureComponent(
+                "own-tail", 0.15,
+                random_lines(rng, own_slice, n), 0.2, sequential=False,
+            ),
+            MixtureComponent(
+                "index-probe", 0.10,
+                random_lines(rng, index, n // 4, alpha=1.3),
+                0.05, sequential=False,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=13)
+        streams.append(builder.build(components, n))
+
+    return WorkloadTrace(
+        name="ycsb",
+        num_hosts=ctx.num_hosts,
+        streams=streams,
+        footprint_bytes=ctx.heap.used,
+        regions=list(ctx.heap.regions),
+        mlp=3.0,
+        read_write_ratio=0.8,
+        description="YCSB (R:W 4:1) on Silo over CXL-DSM",
+    )

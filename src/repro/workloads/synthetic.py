@@ -1,0 +1,204 @@
+"""User-configurable synthetic workloads.
+
+Beyond the thirteen Table 1 reproductions, downstream users exploring
+multi-host CXL-DSM placement need controllable inputs: "what if 30% of my
+traffic is cross-host?", "what if pages are half-and-half split between two
+hosts?".  :func:`synthetic_trace` builds a multi-host trace from explicit
+sharing knobs; :func:`partitioned_split_trace` builds the adversarial
+sub-page-sharing pattern partial migration targets (every page's lines are
+split between two hosts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .. import units
+from ..mem.address import HeapAllocator
+from .trace import (
+    MixtureComponent,
+    StreamBuilder,
+    WorkloadScale,
+    WorkloadTrace,
+    partition_region,
+    random_lines,
+    seq_lines,
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Sharing-structure knobs for a synthetic workload."""
+
+    name: str = "synthetic"
+    #: fraction of accesses to the host's own partition (page-affine data)
+    own_fraction: float = 0.6
+    #: fraction to a globally shared, contested region
+    shared_fraction: float = 0.3
+    #: remainder goes to a cold, rarely reused region
+    write_fraction: float = 0.2
+    own_zipf_alpha: float | None = 1.1
+    shared_zipf_alpha: float | None = 1.05
+    sequential_own: bool = False
+    mlp: float = 4.0
+    mean_gap: int = 10
+
+    def validate(self) -> None:
+        if not 0.0 <= self.own_fraction <= 1.0:
+            raise ValueError("own_fraction must be in [0, 1]")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ValueError("shared_fraction must be in [0, 1]")
+        if self.own_fraction + self.shared_fraction > 1.0:
+            raise ValueError("own + shared fractions exceed 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+
+def synthetic_trace(
+    spec: SyntheticSpec,
+    num_hosts: int = 4,
+    scale: WorkloadScale | None = None,
+    cores_per_host: int = 4,
+) -> WorkloadTrace:
+    """Build a multi-host trace from a :class:`SyntheticSpec`."""
+    spec.validate()
+    if scale is None:
+        scale = WorkloadScale.default()
+    heap = HeapAllocator(max(4 * scale.footprint_bytes, 16 * units.MB))
+    own_total = heap.alloc("own_partitions", scale.footprint_bytes // 2)
+    shared = heap.alloc("shared", scale.footprint_bytes // 4)
+    cold = heap.alloc("cold", scale.footprint_bytes // 4)
+
+    cold_fraction = max(0.0, 1.0 - spec.own_fraction - spec.shared_fraction)
+    streams: List = []
+    for host in range(num_hosts):
+        rng = np.random.default_rng(scale.seed * 389 + host)
+        own = partition_region(own_total, host, num_hosts)
+        n = scale.accesses_per_host
+        components = []
+        if spec.own_fraction > 0:
+            pool = (
+                seq_lines(own)
+                if spec.sequential_own
+                else random_lines(rng, own, n, alpha=spec.own_zipf_alpha)
+            )
+            components.append(MixtureComponent(
+                "own", spec.own_fraction, pool, spec.write_fraction,
+                sequential=spec.sequential_own,
+            ))
+        if spec.shared_fraction > 0:
+            components.append(MixtureComponent(
+                "shared", spec.shared_fraction,
+                random_lines(rng, shared, n, alpha=spec.shared_zipf_alpha),
+                spec.write_fraction, sequential=False,
+            ))
+        if cold_fraction > 0:
+            components.append(MixtureComponent(
+                "cold", cold_fraction, random_lines(rng, cold, n),
+                spec.write_fraction / 2, sequential=False,
+            ))
+        builder = StreamBuilder(rng, cores=cores_per_host,
+                                mean_gap=spec.mean_gap)
+        streams.append(builder.build(components, n))
+
+    return WorkloadTrace(
+        name=spec.name,
+        num_hosts=num_hosts,
+        streams=streams,
+        footprint_bytes=heap.used,
+        regions=list(heap.regions),
+        mlp=spec.mlp,
+        read_write_ratio=1.0 - spec.write_fraction,
+        description=(
+            f"synthetic: own={spec.own_fraction:.0%} "
+            f"shared={spec.shared_fraction:.0%}"
+        ),
+    )
+
+
+def partitioned_split_trace(
+    num_hosts: int = 4,
+    scale: WorkloadScale | None = None,
+    cores_per_host: int = 4,
+    split_lines: int = 48,
+    minor_fraction: float = 0.25,
+) -> WorkloadTrace:
+    """The paper's motivating sub-page sharing pattern, distilled.
+
+    Hosts form pairs over a shared page set.  The even host of each pair is
+    the *dominant* accessor: all its traffic hits the first ``split_lines``
+    lines of the pair's pages.  The odd host spends ``minor_fraction`` of
+    its traffic on the *remaining* lines of the same pages (and the rest on
+    a private stream).  Whole-page migration to the dominant host turns the
+    minority traffic into non-cacheable 4-hop accesses; PIPM migrates only
+    the dominant host's lines, leaving the minority lines cacheable in CXL
+    memory.  A balanced 50/50 split would (correctly) never be migrated by
+    the majority vote at all.
+    """
+    if not 1 <= split_lines < units.LINES_PER_PAGE:
+        raise ValueError("split_lines must be in [1, 63]")
+    if num_hosts < 2 or num_hosts % 2:
+        raise ValueError("split pattern needs an even host count >= 2")
+    if not 0.0 < minor_fraction < 0.5:
+        raise ValueError("minor_fraction must leave the even host dominant")
+    if scale is None:
+        scale = WorkloadScale.default()
+    heap = HeapAllocator(max(4 * scale.footprint_bytes, 16 * units.MB))
+    region = heap.alloc("split_pages", scale.footprint_bytes // 2)
+    aside = heap.alloc("minor_private", scale.footprint_bytes // 2)
+    num_pages = region.size // units.PAGE_SIZE
+
+    pairs = num_hosts // 2
+    pages = np.arange(num_pages, dtype=np.int64)
+
+    def half_pool(pair: int, first: bool) -> np.ndarray:
+        own_pages = pages[pages % pairs == pair]
+        if first:
+            lines = np.arange(split_lines, dtype=np.int64)
+        else:
+            lines = np.arange(split_lines, units.LINES_PER_PAGE,
+                              dtype=np.int64)
+        return (
+            region.start
+            + own_pages[:, None] * units.PAGE_SIZE
+            + lines[None, :] * units.CACHE_LINE
+        ).reshape(-1)
+
+    streams: List = []
+    for host in range(num_hosts):
+        rng = np.random.default_rng(scale.seed * 433 + host)
+        pair = host // 2
+        if host % 2 == 0:
+            components = [
+                MixtureComponent("dominant-half", 1.0,
+                                 half_pool(pair, first=True), 0.3,
+                                 sequential=True),
+            ]
+        else:
+            private = partition_region(aside, host, num_hosts)
+            components = [
+                MixtureComponent("minor-half", minor_fraction,
+                                 half_pool(pair, first=False), 0.3,
+                                 sequential=True),
+                MixtureComponent("private-stream", 1.0 - minor_fraction,
+                                 seq_lines(private), 0.3, sequential=True),
+            ]
+        builder = StreamBuilder(rng, cores=cores_per_host, mean_gap=9)
+        streams.append(builder.build(components, scale.accesses_per_host))
+
+    return WorkloadTrace(
+        name="split-pages",
+        num_hosts=num_hosts,
+        streams=streams,
+        footprint_bytes=heap.used,
+        regions=list(heap.regions),
+        mlp=5.0,
+        read_write_ratio=0.7,
+        description=(
+            f"adversarial sub-page sharing: lines 0-{split_lines - 1} vs "
+            f"{split_lines}-63 hot on different hosts"
+        ),
+    )

@@ -1,0 +1,88 @@
+"""XSBench: the Monte Carlo neutron-transport macroscopic-XS lookup kernel.
+
+Structure (Tramm et al.): every lookup binary-searches the unionized energy
+grid, then gathers cross-section data for ~(num nuclides in material)
+consecutive entries from large nuclide tables.  Each simulated host
+processes an independent particle batch whose energies concentrate in a
+per-host band of the grid (different materials/assemblies per rank), so:
+
+* each host is hot on *its* band of the energy grid and the nuclide-table
+  rows it maps to (page-affine, migration-friendly),
+* a tail of lookups is spread across the full grid (cross-host traffic),
+* the workload is read-only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .. import units
+from .trace import (
+    MixtureComponent,
+    StreamBuilder,
+    WorkloadTrace,
+    partition_region,
+    random_lines,
+)
+
+
+def _burst_pool(rng: np.random.Generator, region, count: int,
+                burst_lines: int = 4, alpha: float = 1.1) -> np.ndarray:
+    """Random-start sequential bursts (XS gathers), as a cyclic pool."""
+    starts = random_lines(rng, region, count, alpha=alpha)
+    offsets = (np.arange(burst_lines, dtype=np.int64) * units.CACHE_LINE)
+    pool = (starts[:, None] + offsets[None, :]).reshape(-1)
+    limit = region.start + region.size - units.CACHE_LINE
+    return np.minimum(pool, limit)
+
+
+def generate_xsbench(ctx) -> WorkloadTrace:
+    footprint = int(ctx.scale.footprint_bytes * 0.92)
+    grid = ctx.heap.alloc("energy_grid", footprint * 3 // 10)
+    tables = ctx.heap.alloc("nuclide_tables", footprint * 6 // 10)
+    index = ctx.heap.alloc("material_index", max(footprint // 10, units.PAGE_SIZE))
+
+    streams: List = []
+    for host in range(ctx.num_hosts):
+        rng = np.random.default_rng(ctx.scale.seed * 271 + host)
+        band = partition_region(grid, host, ctx.num_hosts)
+        table_band = partition_region(tables, host, ctx.num_hosts)
+        n = ctx.scale.accesses_per_host
+        components = [
+            MixtureComponent(
+                "own-band-grid", 0.30,
+                random_lines(rng, band, n, alpha=1.05), 0.0, sequential=False,
+            ),
+            MixtureComponent(
+                "global-grid", 0.10,
+                random_lines(rng, grid, n // 4), 0.0, sequential=False,
+            ),
+            MixtureComponent(
+                "own-xs-gather", 0.42,
+                _burst_pool(rng, table_band, n // 4), 0.0, sequential=True,
+            ),
+            MixtureComponent(
+                "remote-xs-gather", 0.08,
+                _burst_pool(rng, tables, n // 8), 0.0, sequential=True,
+            ),
+            MixtureComponent(
+                "material-index", 0.10,
+                random_lines(rng, index, n // 8, alpha=1.3), 0.0,
+                sequential=False,
+            ),
+        ]
+        builder = StreamBuilder(rng, cores=ctx.cores_per_host, mean_gap=12)
+        streams.append(builder.build(components, n))
+
+    return WorkloadTrace(
+        name="xsbench",
+        num_hosts=ctx.num_hosts,
+        streams=streams,
+        footprint_bytes=ctx.heap.used,
+        regions=list(ctx.heap.regions),
+        mlp=5.0,
+        read_write_ratio=1.0,
+        description="XSBench macroscopic cross-section lookups",
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures: tiny configurations and traces that run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, WorkloadScale, generate
+from repro.workloads.trace import WorkloadTrace
+
+
+@pytest.fixture(scope="session")
+def scaled_config() -> SystemConfig:
+    return SystemConfig.scaled()
+
+@pytest.fixture(scope="session")
+def paper_config() -> SystemConfig:
+    return SystemConfig.paper()
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> WorkloadScale:
+    return WorkloadScale.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_pr_trace(tiny_scale) -> WorkloadTrace:
+    return generate("pr", scale=tiny_scale)
+
+
+@pytest.fixture(scope="session")
+def tiny_ycsb_trace(tiny_scale) -> WorkloadTrace:
+    return generate("ycsb", scale=tiny_scale)

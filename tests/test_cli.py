@@ -1,0 +1,67 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "48GB" in out
+        assert "ycsb" in out
+
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "50ns" in out
+        assert "CXL Directory" in out
+
+    def test_check_passes(self, capsys):
+        assert main(["check", "--hosts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+    def test_run(self, capsys):
+        code = main([
+            "run", "--workload", "canneal", "--scheme", "native",
+            "--scale", "tiny",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exec time" in out
+        assert "local hit rate" in out
+
+    def test_run_with_link_overrides(self, capsys):
+        code = main([
+            "run", "--workload", "canneal", "--scheme", "pipm",
+            "--scale", "tiny", "--link-latency-ns", "100",
+            "--link-bandwidth-gbs", "2.5",
+        ])
+        assert code == 0
+
+    def test_compare_inserts_native(self, capsys):
+        code = main([
+            "compare", "--workload", "bodytrack",
+            "--schemes", "pipm", "--scale", "tiny",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "native" in out
+        assert "pipm" in out
+        assert "speedup" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "doom", "--scale", "tiny"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

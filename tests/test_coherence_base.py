@@ -1,0 +1,136 @@
+"""Baseline CXL-DSM MSI protocol model transitions."""
+
+import pytest
+
+from repro.coherence.base_protocol import Action, BaseCxlDsmModel
+from repro.coherence.states import CacheState
+
+_I, _S, _M = int(CacheState.I), int(CacheState.S), int(CacheState.M)
+
+
+@pytest.fixture()
+def model() -> BaseCxlDsmModel:
+    return BaseCxlDsmModel(num_hosts=2)
+
+
+def load(model, state, host):
+    return model.apply(state, Action("load", host))
+
+
+def store(model, state, host):
+    return model.apply(state, Action("store", host))
+
+
+def evict(model, state, host):
+    return model.apply(state, Action("evict", host))
+
+
+class TestLoads:
+    def test_cold_load_installs_shared(self, model):
+        state, obs = load(model, model.initial_state(), 0)
+        assert state.caches[0][0] == _S
+        assert state.dir_state == _S
+        assert 0 in state.dir_sharers
+        assert obs["read_version"] == obs["latest"]
+
+    def test_load_hit_keeps_state(self, model):
+        state, _ = load(model, model.initial_state(), 0)
+        state2, _ = load(model, state, 0)
+        assert state2 == state
+
+    def test_load_from_dirty_owner_downgrades(self, model):
+        state, _ = store(model, model.initial_state(), 0)
+        state, obs = load(model, state, 1)
+        assert state.caches[0][0] == _S  # owner downgraded
+        assert state.caches[1][0] == _S
+        assert state.mem_version == obs["read_version"]  # written back
+        assert obs["read_version"] == obs["latest"]
+
+
+class TestStores:
+    def test_store_takes_m(self, model):
+        state, obs = store(model, model.initial_state(), 0)
+        assert state.caches[0][0] == _M
+        assert state.dir_state == _M
+        assert state.dir_owner == 0
+        assert obs["written_version"] == obs["latest"] + 1
+
+    def test_store_invalidates_sharers(self, model):
+        state, _ = load(model, model.initial_state(), 0)
+        state, _ = load(model, state, 1)
+        state, _ = store(model, state, 0)
+        assert state.caches[1][0] == _I
+
+    def test_store_steals_from_writer(self, model):
+        state, _ = store(model, model.initial_state(), 0)
+        state, _ = store(model, state, 1)
+        assert state.caches[0][0] == _I
+        assert state.dir_owner == 1
+
+
+class TestEvictions:
+    def test_dirty_evict_writes_back(self, model):
+        state, _ = store(model, model.initial_state(), 0)
+        version = state.caches[0][1]
+        state, _ = evict(model, state, 0)
+        assert state.mem_version == version
+        assert state.dir_state == _I
+
+    def test_shared_evict_drops_sharer(self, model):
+        state, _ = load(model, model.initial_state(), 0)
+        state, _ = load(model, state, 1)
+        state, _ = evict(model, state, 0)
+        assert state.dir_sharers == frozenset({1})
+        state, _ = evict(model, state, 1)
+        assert state.dir_state == _I
+
+    def test_evict_invalid_not_enabled(self, model):
+        initial = model.initial_state()
+        actions = model.enabled_actions(initial)
+        assert Action("evict", 0) not in actions
+        with pytest.raises(ValueError):
+            evict(model, initial, 0)
+
+
+class TestInvariantsAndCanonical:
+    def test_initial_state_clean(self, model):
+        assert model.invariant_violations(model.initial_state()) == []
+
+    def test_detects_two_writers(self, model):
+        bad = model.initial_state()._replace(
+            caches=((_M, 1), (_M, 2)), dir_state=_M, dir_owner=0,
+        )
+        violations = model.invariant_violations(bad)
+        assert any("SWMR" in v for v in violations)
+
+    def test_detects_stale_memory(self, model):
+        bad = model.initial_state()._replace(
+            caches=((_S, 5), (_I, 0)),
+            dir_state=_S,
+            dir_sharers=frozenset({0}),
+            mem_version=0,
+        )
+        violations = model.invariant_violations(bad)
+        assert any("stale" in v for v in violations)
+
+    def test_canonicalization_rank_compresses(self, model):
+        state = model.initial_state()._replace(
+            caches=((_M, 100), (_I, 0)), dir_state=_M, dir_owner=0,
+            mem_version=50,
+        )
+        canon = model.canonicalize(state)
+        assert canon.caches[0][1] == 1
+        assert canon.mem_version == 0
+
+    def test_canonical_states_dedupe(self, model):
+        s1, _ = store(model, model.initial_state(), 0)
+        s1b, _ = store(model, s1, 0)
+        assert model.canonicalize(s1) == model.canonicalize(s1b)
+
+    def test_unknown_action_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.apply(model.initial_state(), Action("flush", 0))
+
+    def test_needs_a_host(self):
+        with pytest.raises(ValueError):
+            BaseCxlDsmModel(0)

@@ -1,0 +1,163 @@
+"""PIPM coherence protocol model: the six transitions of Fig. 9."""
+
+import pytest
+
+from repro.coherence.base_protocol import Action
+from repro.coherence.pipm_protocol import PipmModel
+from repro.coherence.states import CacheState
+
+_I, _S, _M, _ME = (
+    int(CacheState.I), int(CacheState.S), int(CacheState.M),
+    int(CacheState.ME),
+)
+
+
+@pytest.fixture()
+def model() -> PipmModel:
+    return PipmModel(num_hosts=2, remap_host=0)
+
+
+def act(model, state, name, host):
+    return model.apply(state, Action(name, host))
+
+
+def migrated_state(model):
+    """Drive the model to I' (line migrated, nothing cached)."""
+    state, _ = act(model, model.initial_state(), "store", 0)
+    state, obs = act(model, state, "evict", 0)
+    assert obs.get("migrated")
+    return state
+
+
+class TestCase1IncrementalMigration:
+    def test_local_writeback_migrates(self, model):
+        state, _ = act(model, model.initial_state(), "store", 0)
+        version = state.caches[0][1]
+        state, obs = act(model, state, "evict", 0)
+        assert obs["migrated"]
+        assert state.mem_bit == 1
+        assert state.local_version == version
+        # I' everywhere: no cached copies, device directory empty.
+        assert all(s == _I for s, _ in state.caches)
+        assert state.dir_state == _I
+
+    def test_non_remap_host_writeback_goes_to_cxl(self, model):
+        state, _ = act(model, model.initial_state(), "store", 1)
+        version = state.caches[1][1]
+        state, obs = act(model, state, "evict", 1)
+        assert "migrated" not in obs
+        assert state.mem_bit == 0
+        assert state.mem_version == version
+
+
+class TestCase3And4LocalFastPath:
+    def test_local_read_of_migrated_line_takes_me(self, model):
+        state = migrated_state(model)
+        state, obs = act(model, state, "load", 0)
+        assert state.caches[0][0] == _ME
+        assert obs["read_version"] == obs["latest"]
+        # Device directory still not involved.
+        assert state.dir_state == _I
+
+    def test_local_write_in_me_bumps_version(self, model):
+        state = migrated_state(model)
+        state, _ = act(model, state, "load", 0)
+        state, obs = act(model, state, "store", 0)
+        assert state.caches[0][0] == _ME
+        assert obs["written_version"] == obs["latest"] + 1
+
+    def test_me_eviction_back_to_i_mig(self, model):
+        state = migrated_state(model)
+        state, _ = act(model, state, "load", 0)
+        state, _ = act(model, state, "store", 0)
+        version = state.caches[0][1]
+        state, obs = act(model, state, "evict", 0)
+        assert obs["migrated"]
+        assert state.local_version == version
+        assert state.mem_bit == 1
+
+
+class TestCase2InterHostOnIMig:
+    def test_inter_read_migrates_back(self, model):
+        state = migrated_state(model)
+        latest = model.latest_version(state)
+        state, obs = act(model, state, "load", 1)
+        assert obs["read_version"] == latest
+        assert state.mem_bit == 0  # migrated back
+        assert state.mem_version == latest
+        assert state.caches[1][0] == _S
+
+    def test_inter_write_migrates_back_and_owns(self, model):
+        state = migrated_state(model)
+        state, obs = act(model, state, "store", 1)
+        assert state.mem_bit == 0
+        assert state.caches[1][0] == _M
+        assert state.dir_owner == 1
+
+
+class TestCases5And6InterHostOnMe:
+    def _me_state(self, model):
+        state = migrated_state(model)
+        state, _ = act(model, state, "store", 0)
+        assert state.caches[0][0] == _ME
+        return state
+
+    def test_inter_read_downgrades_me_to_s(self, model):
+        state = self._me_state(model)
+        latest = model.latest_version(state)
+        state, obs = act(model, state, "load", 1)
+        assert obs["read_version"] == latest
+        assert state.caches[0][0] == _S  # case 6: ME -> S
+        assert state.caches[1][0] == _S
+        assert state.mem_bit == 0
+        assert state.dir_state == _S
+
+    def test_inter_write_invalidates_me(self, model):
+        state = self._me_state(model)
+        state, _ = act(model, state, "store", 1)
+        assert state.caches[0][0] == _I  # case 5: ME -> I
+        assert state.caches[1][0] == _M
+        assert state.mem_bit == 0
+
+
+class TestInvariants:
+    def test_migrated_line_never_cached_elsewhere(self, model):
+        bad = migrated_state(model)._replace(
+            caches=((_I, 0), (_S, 0)),
+            dir_state=_S,
+            dir_sharers=frozenset({1}),
+        )
+        violations = model.invariant_violations(bad)
+        assert any("non-remap" in v for v in violations)
+
+    def test_me_requires_bit(self, model):
+        bad = model.initial_state()._replace(caches=((_ME, 1), (_I, 0)))
+        violations = model.invariant_violations(bad)
+        assert any("bit clear" in v for v in violations)
+
+    def test_migrated_line_needs_no_dir_entry(self, model):
+        bad = migrated_state(model)._replace(dir_state=_S)
+        violations = model.invariant_violations(bad)
+        assert any("directory" in v for v in violations)
+
+    def test_initial_clean(self, model):
+        assert model.invariant_violations(model.initial_state()) == []
+
+    def test_remap_host_validation(self):
+        with pytest.raises(ValueError):
+            PipmModel(2, remap_host=5)
+
+
+class TestNonMigratedFallback:
+    """Lines with mem_bit 0 behave exactly like baseline MSI."""
+
+    def test_cold_load(self, model):
+        state, _ = act(model, model.initial_state(), "load", 1)
+        assert state.caches[1][0] == _S
+        assert state.dir_state == _S
+
+    def test_store_upgrade_invalidates(self, model):
+        state, _ = act(model, model.initial_state(), "load", 0)
+        state, _ = act(model, state, "load", 1)
+        state, _ = act(model, state, "store", 1)
+        assert state.caches[0][0] == _I

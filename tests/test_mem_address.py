@@ -1,0 +1,125 @@
+"""Physical address map, heap allocator, frame allocator."""
+
+import pytest
+
+from repro import units
+from repro.mem.address import (
+    CXL_NODE,
+    AddressMap,
+    FrameAllocator,
+    HeapAllocator,
+    Region,
+)
+
+
+@pytest.fixture()
+def amap() -> AddressMap:
+    return AddressMap(num_hosts=4, cxl_capacity=16 * units.MB,
+                      local_capacity=4 * units.MB)
+
+
+class TestAddressMap:
+    def test_cxl_range_at_bottom(self, amap):
+        assert amap.is_cxl(0)
+        assert amap.is_cxl(16 * units.MB - 1)
+        assert not amap.is_cxl(16 * units.MB)
+
+    def test_home_of_cxl(self, amap):
+        assert amap.home_of(123) == CXL_NODE
+
+    def test_home_of_each_host_window(self, amap):
+        for host in range(4):
+            start, end = amap.local_window(host)
+            assert amap.home_of(start) == host
+            assert amap.home_of(end - 1) == host
+
+    def test_windows_disjoint_and_ordered(self, amap):
+        ends = [amap.local_window(h) for h in range(4)]
+        for (s1, e1), (s2, e2) in zip(ends, ends[1:]):
+            assert e1 == s2
+
+    def test_out_of_range_rejected(self, amap):
+        with pytest.raises(ValueError):
+            amap.home_of(amap.total_capacity)
+        with pytest.raises(ValueError):
+            amap.home_of(-1)
+
+    def test_local_page_to_addr(self, amap):
+        addr = amap.local_page_to_addr(1, 3)
+        start, _ = amap.local_window(1)
+        assert addr == start + 3 * units.PAGE_SIZE
+
+    def test_local_page_bounds(self, amap):
+        with pytest.raises(ValueError):
+            amap.local_page_to_addr(0, 4 * units.MB // units.PAGE_SIZE)
+
+    def test_unaligned_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(2, 4096 + 1, 4096)
+
+    def test_needs_a_host(self):
+        with pytest.raises(ValueError):
+            AddressMap(0, 4096, 4096)
+
+
+class TestHeapAllocator:
+    def test_bump_allocation(self):
+        heap = HeapAllocator(1 * units.MB)
+        a = heap.alloc("a", 1000)
+        b = heap.alloc("b", 1000)
+        assert a.start == 0
+        assert b.start >= a.end
+        assert a.size % units.PAGE_SIZE == 0  # page-aligned padding
+
+    def test_exhaustion(self):
+        heap = HeapAllocator(8 * units.KB)
+        heap.alloc("a", 4096)
+        heap.alloc("b", 4096)
+        with pytest.raises(MemoryError):
+            heap.alloc("c", 1)
+
+    def test_region_of(self):
+        heap = HeapAllocator(1 * units.MB)
+        a = heap.alloc("a", 4096)
+        assert heap.region_of(a.start) is a
+        assert heap.region_of(a.end) is None
+
+    def test_rejects_bad_args(self):
+        heap = HeapAllocator(1 * units.MB)
+        with pytest.raises(ValueError):
+            heap.alloc("zero", 0)
+        with pytest.raises(ValueError):
+            heap.alloc("align", 100, align=100)
+
+    def test_region_num_pages(self):
+        region = Region("r", 4096, 3 * 4096)
+        assert region.num_pages == 3
+
+
+class TestFrameAllocator:
+    def test_alloc_until_exhausted(self):
+        frames = FrameAllocator(2)
+        assert frames.alloc() == 0
+        assert frames.alloc() == 1
+        assert frames.alloc() is None
+
+    def test_free_recycles(self):
+        frames = FrameAllocator(1)
+        pfn = frames.alloc()
+        frames.free(pfn)
+        assert frames.alloc() == pfn
+
+    def test_in_use_and_available(self):
+        frames = FrameAllocator(3)
+        frames.alloc()
+        frames.alloc()
+        assert frames.in_use == 2
+        assert frames.available == 1
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(4).free(0)
+
+    def test_needs_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(0)

@@ -1,0 +1,152 @@
+"""Global/local remapping tables and remap caches (Sections 4.2, 4.4)."""
+
+import pytest
+
+from repro import units
+from repro.config import PipmConfig
+from repro.pipm.remap_cache import InfiniteRemapCache, RemapCache
+from repro.pipm.remap_global import NO_HOST, GlobalRemapTable
+from repro.pipm.remap_local import LEAF_ENTRIES, LocalRemapTable
+
+
+@pytest.fixture()
+def pipm_cfg() -> PipmConfig:
+    return PipmConfig()
+
+
+class TestGlobalRemapTable:
+    def test_lazy_entries(self, pipm_cfg):
+        table = GlobalRemapTable(pipm_cfg, 1 * units.MB)
+        assert table.peek(5) is None
+        entry = table.entry(5)
+        assert entry.current_host == NO_HOST
+        assert table.peek(5) is entry
+        assert table.touched_entries() == 1
+
+    def test_range_check(self, pipm_cfg):
+        table = GlobalRemapTable(pipm_cfg, 1 * units.MB)
+        with pytest.raises(ValueError):
+            table.entry(table.num_pages)
+        with pytest.raises(ValueError):
+            table.entry(-1)
+
+    def test_space_overhead_is_paper_fraction(self, pipm_cfg):
+        """2B per 4KB page = 0.05% of CXL-DSM (Section 4.4)."""
+        table = GlobalRemapTable(pipm_cfg, 128 * units.GB)
+        assert table.overhead_fraction == pytest.approx(0.000488, rel=0.01)
+        assert table.size_bytes == table.num_pages * 2
+
+    def test_migrated_pages_iterator(self, pipm_cfg):
+        table = GlobalRemapTable(pipm_cfg, 1 * units.MB)
+        table.entry(1).current_host = 2
+        table.entry(3)
+        migrated = dict(table.migrated_pages())
+        assert list(migrated) == [1]
+
+
+class TestLocalRemapTable:
+    def test_insert_lookup_remove(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, host_id=0)
+        entry = table.insert(7, local_pfn=42)
+        assert table.lookup(7) is entry
+        assert entry.counter == pipm_cfg.migration_threshold
+        assert 7 in table
+        removed = table.remove(7)
+        assert removed is entry
+        assert table.lookup(7) is None
+
+    def test_double_insert_rejected(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, 0)
+        table.insert(7, 1)
+        with pytest.raises(ValueError):
+            table.insert(7, 2)
+
+    def test_pfn_must_fit_28_bits(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, 0)
+        with pytest.raises(ValueError):
+            table.insert(1, 1 << 28)
+
+    def test_remove_missing_rejected(self, pipm_cfg):
+        with pytest.raises(KeyError):
+            LocalRemapTable(pipm_cfg, 0).remove(9)
+
+    def test_line_bitmask(self, pipm_cfg):
+        entry = LocalRemapTable(pipm_cfg, 0).insert(1, 0)
+        assert not entry.line_migrated(5)
+        entry.set_line(5)
+        entry.set_line(63)
+        assert entry.line_migrated(5)
+        assert entry.migrated_count == 2
+        entry.clear_line(5)
+        assert not entry.line_migrated(5)
+        assert entry.migrated_count == 1
+
+    def test_footprint_accounting(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, 0)
+        e = table.insert(1, 0)
+        e.set_line(0)
+        e.set_line(1)
+        assert table.page_footprint_bytes() == units.PAGE_SIZE
+        assert table.line_footprint_bytes() == 2 * units.CACHE_LINE
+        assert table.migrated_line_total() == 2
+
+    def test_two_level_walk_cost(self, pipm_cfg):
+        assert LocalRemapTable(pipm_cfg, 0).walk_accesses == 2
+
+    def test_overhead_fraction_is_paper_ratio(self, pipm_cfg):
+        """4B per 4KB resident page ~ 0.1% of RSS (Section 4.4)."""
+        table = LocalRemapTable(pipm_cfg, 0)
+        assert table.overhead_fraction(48 * units.GB) == pytest.approx(
+            4 / 4096
+        )
+
+    def test_size_includes_fixed_root(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, 0)
+        table.insert(0, 0)
+        assert table.size_bytes(resident_pages=1) >= pipm_cfg.radix_root_bytes
+
+    def test_leaves_tracked(self, pipm_cfg):
+        table = LocalRemapTable(pipm_cfg, 0)
+        table.insert(0, 0)
+        table.insert(LEAF_ENTRIES, 1)  # second leaf
+        assert table.size_bytes(2) >= (
+            pipm_cfg.radix_root_bytes + 2 * units.PAGE_SIZE
+        )
+
+
+class TestRemapCache:
+    def test_miss_then_hit(self):
+        cache = RemapCache(16 * units.KB, 2, 8, latency_ns=2.0)
+        assert not cache.probe(5)
+        cache.install(5)
+        assert cache.probe(5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_capacity_entries(self):
+        cache = RemapCache(16 * units.KB, 2, 8, 2.0)
+        assert cache.capacity_entries == 8192
+
+    def test_eviction_returns_page(self):
+        cache = RemapCache(16, 2, 8, 2.0)  # 1 set x 8 ways
+        for page in range(8):
+            cache.install(page)
+        victim = cache.install(100)
+        assert victim is not None
+
+    def test_invalidate(self):
+        cache = RemapCache(16 * units.KB, 2, 8, 2.0)
+        cache.install(5)
+        cache.invalidate(5)
+        assert not cache.probe(5)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RemapCache(4, 2, 8, 2.0)
+
+    def test_infinite_cache_always_hits(self):
+        cache = InfiniteRemapCache(2.0)
+        assert cache.probe(123456)
+        assert cache.hit_rate == 1.0
+        assert cache.misses == 0
+        assert cache.install(1) is None

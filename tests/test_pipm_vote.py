@@ -1,0 +1,116 @@
+"""Boyer-Moore majority-vote migration policy (Section 4.2, Fig. 7)."""
+
+import pytest
+
+from repro.config import PipmConfig
+from repro.pipm.majority_vote import MajorityVote, VoteDecision
+from repro.pipm.remap_global import NO_HOST, GlobalRemapEntry
+from repro.pipm.remap_local import LocalRemapEntry
+
+
+@pytest.fixture()
+def vote() -> MajorityVote:
+    return MajorityVote(PipmConfig())
+
+
+@pytest.fixture()
+def entry() -> GlobalRemapEntry:
+    return GlobalRemapEntry()
+
+
+class TestGlobalCounter:
+    def test_first_access_claims_candidacy(self, vote, entry):
+        assert vote.on_cxl_access(entry, 2) is VoteDecision.NONE
+        assert entry.candidate_host == 2
+        assert entry.counter == 1
+
+    def test_candidate_accumulates_to_threshold(self, vote, entry):
+        decisions = [vote.on_cxl_access(entry, 1) for _ in range(8)]
+        assert decisions[-1] is VoteDecision.PROMOTE
+        assert VoteDecision.PROMOTE not in decisions[:-1]
+
+    def test_other_hosts_decrement(self, vote, entry):
+        for _ in range(4):
+            vote.on_cxl_access(entry, 1)
+        for _ in range(3):
+            assert vote.on_cxl_access(entry, 2) is VoteDecision.NONE
+        assert entry.counter == 1
+        assert entry.candidate_host == 1
+
+    def test_candidate_swap_at_zero(self, vote, entry):
+        vote.on_cxl_access(entry, 1)
+        vote.on_cxl_access(entry, 2)  # counter back to 0
+        assert entry.counter == 0
+        vote.on_cxl_access(entry, 3)  # step 1: next accessor claims
+        assert entry.candidate_host == 3
+        assert entry.counter == 1
+
+    def test_balanced_access_never_promotes(self, vote, entry):
+        """Short-term-balanced sharing correctly avoids migration (4.5)."""
+        for i in range(100):
+            decision = vote.on_cxl_access(entry, i % 4)
+            assert decision is VoteDecision.NONE
+
+    def test_counter_saturates_at_6_bits(self, vote, entry):
+        for _ in range(100):
+            vote.on_cxl_access(entry, 1)
+        assert entry.counter <= 63
+
+    def test_promote_commits(self, vote, entry):
+        for _ in range(8):
+            vote.on_cxl_access(entry, 1)
+        dest = vote.promote(entry)
+        assert dest == 1
+        assert entry.current_host == 1
+        assert entry.candidate_host == NO_HOST
+        assert entry.counter == 0
+
+    def test_promote_without_candidate_rejected(self, vote, entry):
+        with pytest.raises(ValueError):
+            vote.promote(entry)
+
+    def test_vote_on_migrated_page_rejected(self, vote, entry):
+        entry.current_host = 1
+        with pytest.raises(ValueError):
+            vote.on_cxl_access(entry, 0)
+
+
+class TestLocalCounter:
+    def _local(self) -> LocalRemapEntry:
+        return LocalRemapEntry(page=1, local_pfn=0, counter=8)
+
+    def test_local_access_saturates_at_4_bits(self, vote):
+        entry = self._local()
+        for _ in range(100):
+            vote.on_local_access(entry)
+        assert entry.counter == 15
+
+    def test_inter_host_decrements_to_revoke(self, vote):
+        entry = self._local()
+        decisions = [vote.on_inter_host_access(entry) for _ in range(8)]
+        assert decisions[-1] is VoteDecision.REVOKE
+        assert VoteDecision.REVOKE not in decisions[:-1]
+        assert entry.counter == 0
+
+    def test_local_accesses_defend_migration(self, vote):
+        entry = self._local()
+        for _ in range(50):
+            vote.on_inter_host_access(entry)
+            vote.on_local_access(entry)
+            vote.on_local_access(entry)
+        assert entry.counter > 0
+
+    def test_revoke_resets_global(self, vote, entry):
+        entry.current_host = 3
+        entry.counter = 5
+        vote.revoke(entry)
+        assert entry.current_host == NO_HOST
+        assert entry.counter == 0
+
+
+def test_threshold_validation():
+    import dataclasses
+
+    cfg = dataclasses.replace(PipmConfig(), migration_threshold=0)
+    with pytest.raises(ValueError):
+        MajorityVote(cfg)

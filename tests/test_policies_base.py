@@ -1,0 +1,170 @@
+"""Scheme interface, access book, kernel cost model."""
+
+import pytest
+
+from repro.config import KernelMigrationConfig
+from repro.policies import SCHEME_CLASSES, make_scheme
+from repro.policies.base import (
+    IntervalSchemeBase,
+    Mechanism,
+    MigrationPlan,
+    PageAccessBook,
+)
+from repro.policies.costs import KernelCostModel
+
+
+class TestRegistry:
+    def test_all_seven_plus_ideal(self):
+        assert set(SCHEME_CLASSES) == {
+            "native", "nomad", "memtis", "hemem", "os-skew", "hw-static",
+            "pipm", "local-only",
+        }
+
+    def test_make_scheme(self):
+        assert make_scheme("pipm").mechanism is Mechanism.PIPM
+        assert make_scheme("native").mechanism is Mechanism.NONE
+        assert make_scheme("nomad").mechanism is Mechanism.PAGE_MAP
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheme("tpp")
+
+    def test_mechanism_flags(self):
+        assert make_scheme("hw-static").static_map
+        assert not make_scheme("pipm").static_map
+        assert make_scheme("local-only").all_local
+
+
+class TestPageAccessBook:
+    def test_record_and_fold(self):
+        book = PageAccessBook()
+        book.record(1, now=10.0)
+        book.record(1, now=20.0)
+        book.record(2, now=30.0)
+        book.fold()
+        assert book.freq[1] == 2
+        assert book.freq[2] == 1
+        assert not book.counts
+        assert book.last_access[1] == 20.0
+
+    def test_cool_halves_and_prunes(self):
+        book = PageAccessBook()
+        book.record(1, 0.0, weight=8)
+        book.record(2, 0.0)
+        book.fold()
+        book.cool(0.5)
+        assert book.freq[1] == 4
+        book.cool(0.5)
+        book.cool(0.5)
+        # page 2: 1 -> 0.5 -> 0.25 -> pruned below 0.25
+        assert 2 not in book.freq
+
+    def test_observed_counter(self):
+        book = PageAccessBook()
+        for _ in range(5):
+            book.record(1, 0.0)
+        assert book.observed_since_cool == 5
+        book.cool()
+        assert book.observed_since_cool == 0
+
+    def test_hottest_ordering(self):
+        book = PageAccessBook()
+        book.record(1, 0.0, weight=5)
+        book.record(2, 0.0, weight=10)
+        book.record(3, 0.0, weight=1)
+        book.fold()
+        assert book.hottest(2) == [2, 1]
+
+    def test_decay_is_fold_plus_cool(self):
+        book = PageAccessBook()
+        book.record(1, 0.0, weight=4)
+        book.decay(0.5)
+        assert book.freq[1] == 2
+
+
+class TestIntervalSchemeBase:
+    def test_bind_creates_books(self):
+        scheme = IntervalSchemeBase(interval_ns=100.0)
+        scheme.bind(num_hosts=3, frames_per_host=10)
+        assert len(scheme.books) == 3
+        assert scheme.interval_ns() == 100.0
+
+    def test_observe_records(self):
+        scheme = IntervalSchemeBase()
+        scheme.bind(2, 10)
+        scheme.observe_shared_access(1, page=9, now=5.0, is_write=False)
+        assert scheme.books[1].counts[9] == 1
+
+    def test_cold_demotions_only_own_pages(self):
+        scheme = IntervalSchemeBase()
+        scheme.bind(2, 10)
+        locations = {1: 0, 2: 1}
+        victims = scheme.cold_demotions(0, locations, min_freq=1.0,
+                                        keep=set())
+        assert victims == [(1, 0)]
+
+    def test_cold_demotions_respect_keep_and_heat(self):
+        scheme = IntervalSchemeBase()
+        scheme.bind(1, 10)
+        scheme.books[0].freq[1] = 5.0
+        locations = {1: 0, 2: 0, 3: 0}
+        victims = scheme.cold_demotions(0, locations, 1.0, keep={2})
+        assert (1, 0) not in victims  # hot
+        assert (2, 0) not in victims  # kept
+        assert (3, 0) in victims
+
+    def test_pick_demotions_coldest_first(self):
+        scheme = IntervalSchemeBase()
+        scheme.bind(1, 10)
+        scheme.books[0].last_access = {1: 100.0, 2: 50.0, 3: 75.0}
+        locations = {1: 0, 2: 0, 3: 0}
+        victims = scheme.pick_demotions(0, locations, needed=2, keep=set())
+        assert victims == [(2, 0), (3, 0)]
+
+    def test_plan_default_empty(self):
+        plan = IntervalSchemeBase().plan_interval(0.0, {}, {})
+        assert plan.empty
+
+
+class TestKernelCostModel:
+    @pytest.fixture()
+    def model(self) -> KernelCostModel:
+        return KernelCostModel(KernelMigrationConfig(), num_hosts=4)
+
+    def test_empty_batch(self, model):
+        charge = model.charge({})
+        assert charge.total_mgmt_ns == 0
+        assert charge.pages_moved == 0
+
+    def test_initiator_pays_more(self, model):
+        charge = model.charge({0: 10})
+        assert charge.per_host_mgmt_ns[0] > charge.per_host_mgmt_ns[1]
+        assert charge.pages_moved == 10
+
+    def test_every_host_pays_shootdowns(self, model):
+        charge = model.charge({0: 1})
+        assert len(charge.per_host_mgmt_ns) == 4
+        assert charge.shootdown_batches == 1
+
+    def test_shootdown_batching(self, model):
+        charge = model.charge({0: 64})
+        assert charge.shootdown_batches == 2  # batch of 32
+
+    def test_cost_arithmetic(self, model):
+        cfg = KernelMigrationConfig()
+        charge = model.charge({0: 2, 1: 3})
+        expected_h0 = (
+            2 * cfg.initiator_cost_ns
+            + 3 * cfg.other_core_cost_ns
+            + charge.shootdown_batches * cfg.tlb_shootdown_ns
+        )
+        assert charge.per_host_mgmt_ns[0] == pytest.approx(expected_h0)
+
+    def test_cap_pages(self, model):
+        assert model.cap_pages(10_000) == 512
+        assert model.cap_pages(3) == 3
+
+
+def test_migration_plan_empty_property():
+    assert MigrationPlan().empty
+    assert not MigrationPlan(promotions=[(1, 0)]).empty

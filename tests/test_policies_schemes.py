@@ -1,0 +1,180 @@
+"""Per-scheme policy behaviour: Nomad, Memtis, HeMem, OS-skew."""
+
+import pytest
+
+from repro.policies.hemem import HeMemScheme
+from repro.policies.memtis import MemtisScheme
+from repro.policies.nomad import NomadScheme
+from repro.policies.os_skew import OsSkewScheme
+
+
+def feed(scheme, host, page, times, now=0.0, step=1.0):
+    for i in range(times):
+        scheme.observe_shared_access(host, page, now + i * step, False)
+
+
+class TestNomad:
+    def make(self, **kw) -> NomadScheme:
+        scheme = NomadScheme(interval_ns=100.0, **kw)
+        scheme.bind(2, frames_per_host=64)
+        return scheme
+
+    def test_promotes_recently_touched(self):
+        scheme = self.make(promotion_min_touches=3)
+        feed(scheme, 0, page=7, times=5)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert (7, 0) in plan.promotions
+
+    def test_ignores_single_touch(self):
+        scheme = self.make(promotion_min_touches=3)
+        feed(scheme, 0, page=7, times=1)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert plan.promotions == []
+
+    def test_skips_already_migrated(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=5)
+        plan = scheme.plan_interval(100.0, {7: 1}, {0: 64, 1: 64})
+        assert (7, 0) not in plan.promotions
+
+    def test_recency_orders_candidates(self):
+        scheme = self.make(max_pages_per_interval=1)
+        feed(scheme, 0, page=7, times=4, now=0.0)
+        feed(scheme, 0, page=9, times=4, now=50.0)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert plan.promotions == [(9, 0)]
+
+    def test_inactive_aging_demotes(self):
+        scheme = self.make(demote_after_intervals=2)
+        feed(scheme, 0, page=7, times=5, now=0.0)
+        # Page 7 resident at host 0 but untouched for a long time.
+        plan = scheme.plan_interval(10_000.0, {7: 0}, {0: 64, 1: 64})
+        assert (7, 0) in plan.demotions
+
+    def test_reduced_initiator_cost_flag(self):
+        assert NomadScheme.initiator_cost_scale == 0.5
+        assert NomadScheme.free_clean_demotions
+
+
+class TestMemtis:
+    def make(self, **kw) -> MemtisScheme:
+        scheme = MemtisScheme(interval_ns=100.0, **kw)
+        scheme.bind(2, frames_per_host=64)
+        return scheme
+
+    def test_promotes_above_threshold(self):
+        scheme = self.make(hot_threshold=4.0)
+        feed(scheme, 0, page=7, times=6)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert (7, 0) in plan.promotions
+
+    def test_frequency_accumulates_across_intervals(self):
+        scheme = self.make(hot_threshold=6.0)
+        feed(scheme, 0, page=7, times=4)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert plan.promotions == []
+        feed(scheme, 0, page=7, times=4)
+        plan = scheme.plan_interval(200.0, {}, {0: 64, 1: 64})
+        assert (7, 0) in plan.promotions
+
+    def test_cooling_is_sample_driven(self):
+        scheme = self.make(cooling_samples=10, hot_threshold=100.0)
+        feed(scheme, 0, page=7, times=12)
+        scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert scheme.books[0].freq[7] == 6.0  # 12 folded, then halved
+
+    def test_cooling_demotes_cold_resident(self):
+        scheme = self.make(cooling_samples=10, demote_min_freq=2.0)
+        feed(scheme, 0, page=9, times=12)  # traffic, but not to page 7
+        plan = scheme.plan_interval(100.0, {7: 0}, {0: 64, 1: 64})
+        assert (7, 0) in plan.demotions
+
+    def test_no_promotion_without_free_frames(self):
+        """Warm residents are never displaced; promotions truncate."""
+        scheme = self.make(hot_threshold=2.0)
+        scheme.books[0].last_access = {5: 1.0}
+        feed(scheme, 0, page=7, times=8)
+        plan = scheme.plan_interval(100.0, {5: 0}, {0: 0, 1: 0})
+        assert (5, 0) not in plan.demotions
+        assert (7, 0) not in plan.promotions
+
+
+class TestHeMem:
+    def test_sampling_reduces_observations(self):
+        scheme = HeMemScheme(interval_ns=100.0, sample_period=4)
+        scheme.bind(1, 64)
+        feed(scheme, 0, page=7, times=7)
+        # Only the 4th access sampled, with weight 4.
+        assert scheme.books[0].counts.get(7, 0) == 4
+
+    def test_sample_period_validated(self):
+        with pytest.raises(ValueError):
+            HeMemScheme(sample_period=0)
+
+    def test_promotes_sampled_hot_page(self):
+        scheme = HeMemScheme(interval_ns=100.0, sample_period=2,
+                             hot_threshold=4.0)
+        scheme.bind(1, 64)
+        feed(scheme, 0, page=7, times=8)
+        plan = scheme.plan_interval(100.0, {}, {0: 64})
+        assert (7, 0) in plan.promotions
+
+
+class TestOsSkew:
+    def make(self) -> OsSkewScheme:
+        scheme = OsSkewScheme(interval_ns=100.0)
+        scheme.bind(2, frames_per_host=64)
+        return scheme
+
+    def test_majority_vote_gates_promotion(self):
+        scheme = self.make()
+        # Balanced access: never promoted.
+        for i in range(40):
+            scheme.observe_shared_access(i % 2, 7, float(i), False)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert plan.promotions == []
+
+    def test_dominant_host_promoted(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=10)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert (7, 0) in plan.promotions
+
+    def test_interhost_traffic_triggers_demotion(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=10)
+        plan = scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        assert (7, 0) in plan.promotions
+        # Now host 1 hammers the migrated page.
+        feed(scheme, 1, page=7, times=10)
+        plan = scheme.plan_interval(200.0, {7: 0}, {0: 63, 1: 64})
+        assert (7, 0) in plan.demotions
+
+    def test_revoked_page_cools_down(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=10)
+        scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        feed(scheme, 1, page=7, times=10)
+        scheme.plan_interval(200.0, {7: 0}, {0: 63, 1: 64})
+        # Immediately re-dominating must NOT re-queue during the cooldown.
+        feed(scheme, 0, page=7, times=10)
+        plan = scheme.plan_interval(300.0, {}, {0: 64, 1: 64})
+        assert (7, 0) not in plan.promotions
+
+    def test_local_accesses_defend_page(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=10)
+        scheme.plan_interval(100.0, {}, {0: 64, 1: 64})
+        # Interleaved: owner keeps winning.
+        for i in range(30):
+            scheme.observe_shared_access(0, 7, 200.0 + i, False)
+            scheme.observe_shared_access(0, 7, 200.0 + i, False)
+            scheme.observe_shared_access(1, 7, 200.0 + i, False)
+        plan = scheme.plan_interval(300.0, {7: 0}, {0: 63, 1: 64})
+        assert (7, 0) not in plan.demotions
+
+    def test_frames_respected(self):
+        scheme = self.make()
+        feed(scheme, 0, page=7, times=10)
+        plan = scheme.plan_interval(100.0, {}, {0: 0, 1: 0})
+        assert plan.promotions == []

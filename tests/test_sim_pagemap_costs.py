@@ -1,0 +1,142 @@
+"""Kernel migration mechanics inside the system model: costs, flushes,
+transfers, ledger wiring, and the interval machinery."""
+
+import pytest
+
+from repro import SystemConfig, units
+from repro.policies import make_scheme
+from repro.policies.base import MigrationPlan
+from repro.sim.system import MultiHostSystem
+
+
+@pytest.fixture()
+def cfg() -> SystemConfig:
+    return SystemConfig.scaled()
+
+
+def system_with(cfg, scheme="memtis", **kw) -> MultiHostSystem:
+    return MultiHostSystem(cfg, make_scheme(scheme), workload_mlp=4.0,
+                           footprint_pages=512, **kw)
+
+
+def warm_page(system, host, page, accesses=40):
+    now = 0.0
+    for i in range(accesses):
+        addr = (page << 12) + (i % 64) * 64
+        system.access(host, 0, addr, False, now)
+        now += 50.0
+    return now
+
+
+class TestApplyPlan:
+    def test_promotion_charges_all_hosts(self, cfg):
+        system = system_with(cfg)
+        plan = MigrationPlan(promotions=[(5, 0), (6, 1)])
+        clocks = [h.clock_ns for h in system.hosts]
+        system._apply_plan(plan, now=1000.0)
+        assert system.page_map == {5: 0, 6: 1}
+        for host, before in zip(system.hosts, clocks):
+            assert host.clock_ns > before  # mgmt charged everywhere
+        assert system.mgmt_ns > 0
+        assert system.transfer_ns > 0
+
+    def test_budget_round_robin_across_hosts(self, cfg):
+        cfg2 = cfg.replace_nested("kernel", max_pages_per_interval=2)
+        system = system_with(cfg2)
+        plan = MigrationPlan(
+            promotions=[(1, 0), (2, 0), (3, 0), (4, 1)]
+        )
+        system._apply_plan(plan, now=0.0)
+        # With budget 2 and two initiators, each host gets one page.
+        assert 4 in system.page_map
+        assert sum(1 for h in system.page_map.values() if h == 0) == 1
+
+    def test_promotion_flushes_caches_everywhere(self, cfg):
+        system = system_with(cfg)
+        page = 5
+        warm_page(system, 1, page, accesses=4)
+        line = page << 6
+        assert system.hosts[1].holds_line(line)
+        system._apply_plan(MigrationPlan(promotions=[(page, 0)]), 1e6)
+        assert not system.hosts[1].holds_line(line)
+        assert system.device_dir.peek(line) is None
+
+    def test_demotion_frees_frame_and_map(self, cfg):
+        system = system_with(cfg)
+        system._apply_plan(MigrationPlan(promotions=[(5, 0)]), 0.0)
+        in_use = system.frames[0].in_use
+        system._apply_plan(MigrationPlan(demotions=[(5, 0)]), 1e6)
+        assert 5 not in system.page_map
+        assert system.frames[0].in_use == in_use - 1
+        assert system.demotions == 1
+
+    def test_demotion_of_unmigrated_page_ignored(self, cfg):
+        system = system_with(cfg)
+        system._apply_plan(MigrationPlan(demotions=[(7, 0)]), 0.0)
+        assert system.demotions == 0
+
+    def test_clean_demotion_free_for_nomad(self, cfg):
+        nomad = system_with(cfg, scheme="nomad")
+        nomad._apply_plan(MigrationPlan(promotions=[(5, 0)]), 0.0)
+        transfer_after_promo = nomad.transfer_ns
+        nomad._apply_plan(MigrationPlan(demotions=[(5, 0)]), 1e6)
+        # Non-exclusive shadow copy: a clean page demotes without transfer.
+        assert nomad.transfer_ns == transfer_after_promo
+
+    def test_dirty_demotion_always_transfers(self, cfg):
+        nomad = system_with(cfg, scheme="nomad")
+        nomad._apply_plan(MigrationPlan(promotions=[(5, 0)]), 0.0)
+        nomad.dirty_pages.add(5)
+        before = nomad.transfer_ns
+        nomad._apply_plan(MigrationPlan(demotions=[(5, 0)]), 1e6)
+        assert nomad.transfer_ns > before
+
+    def test_ledger_records_promotions(self, cfg):
+        system = system_with(cfg)
+        system._apply_plan(MigrationPlan(promotions=[(5, 0)]), 0.0)
+        assert system.ledger.total_migrations == 1
+
+
+class TestIntervalMachinery:
+    def test_tick_noop_before_boundary(self, cfg):
+        system = system_with(cfg)
+        system.maybe_tick(cfg.kernel.interval_ns / 2)
+        assert system.migrations == 0
+
+    def test_tick_advances_past_multiple_boundaries(self, cfg):
+        system = system_with(cfg)
+        system.maybe_tick(cfg.kernel.interval_ns * 5.5)
+        assert system._next_interval > cfg.kernel.interval_ns * 5.5
+
+    def test_nomad_learns_effective_interval(self, cfg):
+        scheme = make_scheme("nomad")
+        assert scheme.interval_ns() is None
+        MultiHostSystem(cfg, scheme, footprint_pages=512)
+        assert scheme.interval_ns() == cfg.kernel.interval_ns
+
+    def test_resident_cap_applies(self, cfg):
+        system = MultiHostSystem(
+            cfg, make_scheme("memtis"), footprint_pages=100,
+        )
+        expected = max(16, int(cfg.kernel.resident_fraction_cap * 100))
+        assert system.frames[0].num_frames == expected
+
+    def test_no_footprint_hint_uses_capacity(self, cfg):
+        system = MultiHostSystem(cfg, make_scheme("memtis"))
+        capacity_frames = int(
+            cfg.local_dram.capacity_bytes * cfg.migration_capacity_fraction
+        ) // units.PAGE_SIZE
+        assert system.frames[0].num_frames == capacity_frames
+
+
+class TestPipmHasNoKernelMachinery:
+    def test_no_interval(self, cfg):
+        system = MultiHostSystem(cfg, make_scheme("pipm"))
+        assert system._next_interval is None
+        system.maybe_tick(1e12)  # must be a no-op
+        assert system.migrations == 0
+
+    def test_no_ledger_or_frames(self, cfg):
+        system = MultiHostSystem(cfg, make_scheme("pipm"))
+        assert system.ledger is None
+        assert system.frames == []

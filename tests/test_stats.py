@@ -1,0 +1,91 @@
+"""Statistics registry and histogram."""
+
+import pytest
+
+from repro.stats import Histogram, ScopedStats, StatRegistry, ratio
+
+
+class TestStatRegistry:
+    def test_add_accumulates(self):
+        reg = StatRegistry()
+        reg.add("x", 2)
+        reg.add("x", 3)
+        assert reg.get("x") == 5
+
+    def test_put_overwrites(self):
+        reg = StatRegistry()
+        reg.add("x", 2)
+        reg.put("x", 1)
+        assert reg.get("x") == 1
+
+    def test_get_default(self):
+        assert StatRegistry().get("missing", 42.0) == 42.0
+
+    def test_scoped_prefixes(self):
+        reg = StatRegistry()
+        scope = reg.scoped("host0")
+        scope.add("llc.misses")
+        assert reg.get("host0.llc.misses") == 1
+
+    def test_nested_scopes(self):
+        reg = StatRegistry()
+        inner = reg.scoped("host0").scoped("llc")
+        inner.add("hits", 7)
+        assert reg.get("host0.llc.hits") == 7
+
+    def test_snapshot_is_a_copy(self):
+        reg = StatRegistry()
+        reg.add("x")
+        snap = reg.snapshot()
+        reg.add("x")
+        assert snap["x"] == 1
+
+    def test_merge(self):
+        reg = StatRegistry()
+        reg.add("x", 1)
+        reg.merge({"x": 2, "y": 3})
+        assert reg.get("x") == 3
+        assert reg.get("y") == 3
+
+    def test_contains_and_clear(self):
+        reg = StatRegistry()
+        reg.add("x")
+        assert "x" in reg
+        reg.clear()
+        assert "x" not in reg
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram(bucket_width=10)
+        for v in (5, 15, 25):
+            h.record(v)
+        assert h.mean == 15
+
+    def test_max(self):
+        h = Histogram(bucket_width=10)
+        h.record(3)
+        h.record(99)
+        assert h.maximum == 99
+
+    def test_percentile_monotone(self):
+        h = Histogram(bucket_width=1)
+        for v in range(100):
+            h.record(v)
+        assert h.percentile(0.5) <= h.percentile(0.9) <= h.percentile(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=1).record(-1)
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_width=1).percentile(1.5)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram(bucket_width=1).percentile(0.5) == 0.0
+
+
+def test_ratio_zero_denominator():
+    assert ratio(5, 0) == 0
+    assert ratio(6, 3) == 2

@@ -1,0 +1,72 @@
+"""Unit helpers: address arithmetic, conversions, formatting."""
+
+import pytest
+
+from repro import units
+
+
+class TestAddressMath:
+    def test_line_addr(self):
+        assert units.line_addr(0) == 0
+        assert units.line_addr(63) == 0
+        assert units.line_addr(64) == 1
+        assert units.line_addr(4096) == 64
+
+    def test_page_addr(self):
+        assert units.page_addr(4095) == 0
+        assert units.page_addr(4096) == 1
+
+    def test_line_of_page_cycles(self):
+        assert units.line_of_page(0) == 0
+        assert units.line_of_page(64) == 1
+        assert units.line_of_page(4096) == 0
+        assert units.line_of_page(4096 - 64) == 63
+
+    def test_page_of_line_inverts_line_addr(self):
+        addr = 123 * 4096 + 17 * 64
+        assert units.page_of_line(units.line_addr(addr)) == 123
+
+    def test_line_base_inverts(self):
+        for line in (0, 1, 77, 2**20):
+            assert units.line_addr(units.line_base(line)) == line
+
+    def test_page_base_inverts(self):
+        for page in (0, 1, 77, 2**20):
+            assert units.page_addr(units.page_base(page)) == page
+
+    def test_lines_per_page(self):
+        assert units.LINES_PER_PAGE == 64
+        assert units.PAGE_SIZE // units.CACHE_LINE == units.LINES_PER_PAGE
+
+
+class TestConversions:
+    def test_cycles_ns_round_trip(self):
+        assert units.cycles_to_ns(4, 4.0) == 1.0
+        assert units.ns_to_cycles(1.0, 4.0) == 4.0
+
+    def test_transfer_ns_line_at_5gbs(self):
+        # 64B at 5 GB/s ~= 11.9ns
+        ns = units.transfer_ns(64, 5.0)
+        assert 10 < ns < 14
+
+    def test_transfer_ns_page_scales_linearly(self):
+        one = units.transfer_ns(64, 5.0)
+        page = units.transfer_ns(4096, 5.0)
+        assert page == pytest.approx(one * 64)
+
+    def test_transfer_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transfer_ns(64, 0)
+
+
+class TestFormatting:
+    def test_pretty_size(self):
+        assert units.pretty_size(512) == "512B"
+        assert units.pretty_size(2048) == "2.0KB"
+        assert units.pretty_size(48 * units.GB) == "48.0GB"
+
+    def test_pretty_time(self):
+        assert units.pretty_time(50) == "50.0ns"
+        assert "us" in units.pretty_time(5000)
+        assert "ms" in units.pretty_time(2.5 * units.MS)
+        assert "s" in units.pretty_time(3 * units.S)

@@ -1,0 +1,164 @@
+"""Trace machinery: scales, mixtures, stream builder, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.mem.address import Region
+from repro.workloads.trace import (
+    MixtureComponent,
+    StreamBuilder,
+    WorkloadScale,
+    partition_region,
+    private_region,
+    random_lines,
+    seq_lines,
+    zipf_indices,
+)
+
+
+@pytest.fixture()
+def region() -> Region:
+    return Region("r", 0, 64 * units.KB)
+
+
+class TestWorkloadScale:
+    def test_presets_ordered(self):
+        tiny, small, default, large = (
+            WorkloadScale.tiny(), WorkloadScale.small(),
+            WorkloadScale.default(), WorkloadScale.large(),
+        )
+        assert (tiny.accesses_per_host < small.accesses_per_host
+                < default.accesses_per_host < large.accesses_per_host)
+        assert tiny.footprint_bytes < large.footprint_bytes
+
+
+class TestAddressPools:
+    def test_seq_lines_cover_region(self, region):
+        lines = seq_lines(region)
+        assert len(lines) == region.size // 64
+        assert lines[0] == region.start
+        assert lines[-1] == region.end - 64
+
+    def test_seq_lines_rotation(self, region):
+        rotated = seq_lines(region, start=2)
+        assert rotated[0] == region.start + 2 * 64
+
+    def test_random_lines_in_bounds(self, region):
+        rng = np.random.default_rng(0)
+        addrs = random_lines(rng, region, 1000)
+        assert (addrs >= region.start).all()
+        assert (addrs < region.end).all()
+        assert (addrs % 64 == 0).all()
+
+    def test_zipf_skews(self, region):
+        rng = np.random.default_rng(0)
+        addrs = random_lines(rng, region, 5000, alpha=1.2)
+        _, counts = np.unique(addrs, return_counts=True)
+        # The hottest line gets far more than the uniform share.
+        assert counts.max() > 5000 / (region.size // 64) * 5
+
+    def test_zipf_indices_bounds(self):
+        rng = np.random.default_rng(0)
+        idx = zipf_indices(rng, 100, 1000, alpha=1.1)
+        assert idx.min() >= 0
+        assert idx.max() < 100
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_indices(np.random.default_rng(0), 0, 10)
+
+
+class TestStreamBuilder:
+    def _components(self, region):
+        return [
+            MixtureComponent("seq", 0.5, seq_lines(region), 0.0, True),
+            MixtureComponent(
+                "rand", 0.5,
+                random_lines(np.random.default_rng(1), region, 100),
+                1.0, False,
+            ),
+        ]
+
+    def test_build_length_and_shape(self, region):
+        builder = StreamBuilder(np.random.default_rng(0), cores=4, mean_gap=10)
+        stream = builder.build(self._components(region), 500)
+        assert len(stream) == 500
+        gaps, addrs, writes, cores = zip(*stream)
+        assert all(g >= 1 for g in gaps)
+        assert set(cores) <= {0, 1, 2, 3}
+        assert all(a % 64 == 0 for a in addrs)
+
+    def test_write_fractions_respected(self, region):
+        builder = StreamBuilder(np.random.default_rng(0))
+        stream = builder.build(self._components(region), 2000)
+        writes = [w for _, a, w, _ in stream]
+        frac = sum(writes) / len(writes)
+        assert 0.35 < frac < 0.65  # only the 'rand' half writes
+
+    def test_deterministic_for_seed(self, region):
+        def run():
+            builder = StreamBuilder(np.random.default_rng(7))
+            return builder.build(self._components(region), 100)
+        assert run() == run()
+
+    def test_mean_gap_approx(self, region):
+        builder = StreamBuilder(np.random.default_rng(0), mean_gap=12)
+        stream = builder.build(self._components(region), 5000)
+        mean = sum(g for g, *_ in stream) / len(stream)
+        assert 10 < mean < 14
+
+    def test_rejects_empty_components(self, region):
+        with pytest.raises(ValueError):
+            StreamBuilder(np.random.default_rng(0)).build([], 10)
+
+    def test_rejects_bad_weights(self, region):
+        comp = MixtureComponent("x", 0.0, seq_lines(region))
+        with pytest.raises(ValueError):
+            StreamBuilder(np.random.default_rng(0)).build([comp], 10)
+
+    def test_from_arrays(self):
+        builder = StreamBuilder(np.random.default_rng(0), cores=2)
+        addrs = np.array([0, 64, 128])
+        writes = np.array([0, 1, 0])
+        stream = builder.from_arrays(addrs, writes)
+        assert [a for _, a, _, _ in stream] == [0, 64, 128]
+        assert [w for _, _, w, _ in stream] == [0, 1, 0]
+
+    def test_from_arrays_length_mismatch(self):
+        builder = StreamBuilder(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            builder.from_arrays(np.array([0]), np.array([0, 1]))
+
+
+class TestPartitioning:
+    def test_partition_covers_region(self):
+        region = Region("r", 0, 40 * units.PAGE_SIZE)
+        parts = [partition_region(region, i, 4) for i in range(4)]
+        assert parts[0].start == region.start
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start
+        assert parts[-1].end == region.end
+
+    def test_uneven_split(self):
+        region = Region("r", 0, 10 * units.PAGE_SIZE)
+        parts = [partition_region(region, i, 3) for i in range(3)]
+        assert sum(p.num_pages for p in parts) == 10
+
+    def test_page_aligned(self):
+        region = Region("r", 0, 16 * units.PAGE_SIZE)
+        part = partition_region(region, 1, 4)
+        assert part.start % units.PAGE_SIZE == 0
+
+    def test_out_of_range(self):
+        region = Region("r", 0, 16 * units.PAGE_SIZE)
+        with pytest.raises(ValueError):
+            partition_region(region, 4, 4)
+
+    def test_private_region_inside_window(self):
+        region = private_region((1000 * 4096, 2000 * 4096), 64 * units.KB)
+        assert region.start == 1000 * 4096
+
+    def test_private_region_overflow(self):
+        with pytest.raises(ValueError):
+            private_region((0, 4096), 64 * units.KB)
