@@ -1,0 +1,97 @@
+"""Resilience evaluation: PIPM under injected link faults.
+
+Companion to the fault-injection layer (src/repro/faults/): runs the
+``none`` / ``flaky`` / ``degraded`` presets against PIPM and Native on
+two workloads and reports the performance cost of faults plus the
+recovery counters.  Checks the layer's two core guarantees:
+
+* an all-zero fault plan is byte-identical to running with faults off;
+* a degraded fabric slows the run down but never wedges it — every
+  scenario completes with a clean post-run invariant audit.
+"""
+
+import dataclasses
+
+from common import run_cached, write_output
+from repro import FaultConfig, SystemConfig
+from repro.analysis.report import format_table
+
+PRESETS = ["none", "flaky", "degraded"]
+SCHEMES = ["native", "pipm"]
+WORKLOADS = ["pr", "ycsb"]
+
+#: Deterministic seed + periodic audits for the faulted runs.
+_OVERRIDES = "seed=7,watchdog-period-ns=200000"
+
+
+def _config(preset):
+    base = SystemConfig.scaled()
+    if preset is None:
+        return base
+    spec = preset if preset == "none" else f"{preset}:{_OVERRIDES}"
+    return dataclasses.replace(base, faults=FaultConfig.parse(spec))
+
+
+def _sweep():
+    rows = []
+    identity_checks = []
+    resilience_checks = []
+    for workload in WORKLOADS:
+        baselines = {
+            scheme: run_cached(workload, scheme, _config(None), tag="base")
+            for scheme in SCHEMES
+        }
+        for preset in PRESETS:
+            config = _config(preset)
+            for scheme in SCHEMES:
+                result = run_cached(
+                    workload, scheme, config, tag=f"faults-{preset}",
+                )
+                base = baselines[scheme]
+                stats = result.fault_stats
+                rows.append((
+                    workload, scheme, preset,
+                    f"{result.exec_time_ns / base.exec_time_ns:.3f}x",
+                    int(stats.get("fault_link_retries", 0)),
+                    int(stats.get("fault_migration_aborts", 0)),
+                    int(stats.get("fault_rollbacks", 0)),
+                    int(stats.get("watchdog_violations", 0)),
+                ))
+                if preset == "none":
+                    identity_checks.append((workload, scheme, result, base))
+                else:
+                    resilience_checks.append((workload, scheme, preset,
+                                              result, base))
+    table = format_table(
+        "Resilience: slowdown and recovery under fault presets",
+        ["workload", "scheme", "preset", "slowdown", "retries", "aborts",
+         "rollbacks", "violations"],
+        rows,
+    )
+    return table, identity_checks, resilience_checks
+
+
+def test_resilience(benchmark):
+    table, identity_checks, resilience_checks = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    write_output("resilience", table)
+
+    for workload, scheme, result, base in identity_checks:
+        assert result == base, (
+            f"zero fault plan must be byte-identical "
+            f"({workload}/{scheme})"
+        )
+    for workload, scheme, preset, result, base in resilience_checks:
+        # Injected faults perturb event interleaving, so small speedups are
+        # possible; only the 4x-degraded fabric guarantees a real slowdown.
+        assert "watchdog_violations" not in result.stats, (
+            f"invariant audit must stay clean ({workload}/{scheme}/{preset})"
+        )
+        if preset == "degraded":
+            assert result.exec_time_ns > base.exec_time_ns, (
+                f"a 4x-degraded fabric must cost time ({workload}/{scheme})"
+            )
+            assert result.fault_stats.get("fault_link_retries", 0) > 0, (
+                f"degraded fabric must force retries ({workload}/{scheme})"
+            )

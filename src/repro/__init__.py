@@ -20,9 +20,17 @@ from .config import (
     CxlLinkConfig,
     DirectoryConfig,
     DramConfig,
+    FaultConfig,
     KernelMigrationConfig,
     PipmConfig,
     SystemConfig,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    InvariantWatchdog,
+    LinkTransferError,
+    MessageFaultModel,
 )
 from .sim import (
     MultiHostSystem,
@@ -46,6 +54,12 @@ __all__ = [
     "CxlLinkConfig",
     "DirectoryConfig",
     "DramConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantWatchdog",
+    "LinkTransferError",
+    "MessageFaultModel",
     "KernelMigrationConfig",
     "PipmConfig",
     "SystemConfig",

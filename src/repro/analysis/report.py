@@ -67,6 +67,36 @@ def format_table(
     return table.render()
 
 
+#: Human-readable labels for the ``fault_*``/``watchdog_*`` result stats.
+_FAULT_LABELS = (
+    ("fault_injected_errors", "injected transfer errors"),
+    ("fault_link_retries", "link retries"),
+    ("fault_link_giveups", "link give-ups"),
+    ("fault_migration_aborts", "migration aborts"),
+    ("fault_migration_timeouts", "  of which timeouts"),
+    ("fault_rollbacks", "remap rollbacks"),
+    ("fault_degraded_skips", "degraded-link skips"),
+    ("fault_host_stall_ns", "host stall time (ns)"),
+    ("fault_poison_recoveries", "poison recoveries"),
+    ("fault_recovery_ns", "recovery time (ns)"),
+    ("watchdog_violations", "watchdog violations"),
+)
+
+
+def format_fault_report(stats: Dict[str, float]) -> str:
+    """Render a run's fault/recovery counters; empty string if none fired."""
+    rows = [
+        (label, f"{stats[key]:g}")
+        for key, label in _FAULT_LABELS
+        if key in stats
+    ]
+    if not rows:
+        return ""
+    return format_table(
+        "Fault injection & recovery", ["event", "count"], rows
+    )
+
+
 def format_series(
     title: str,
     series: Dict[str, Dict[str, float]],

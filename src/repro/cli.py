@@ -12,13 +12,14 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
 from . import __version__
-from .analysis.report import format_table
+from .analysis.report import format_fault_report, format_table
 from .coherence import BaseCxlDsmModel, ModelChecker, PipmModel
-from .config import SystemConfig
+from .config import FaultConfig, SystemConfig
 from .sim.harness import DEFAULT_SCHEMES, compare_schemes, run_experiment
 from .units import pretty_size, pretty_time
 from .workloads import WorkloadScale, workload_names
@@ -42,6 +43,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hosts", type=int, default=4)
     run.add_argument("--link-latency-ns", type=float, default=None)
     run.add_argument("--link-bandwidth-gbs", type=float, default=None)
+    run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection spec: a preset (none, flaky, degraded, storm) "
+             "optionally followed by :key=value overrides, e.g. "
+             "'degraded:seed=3,transfer-error-rate=1e-3'",
+    )
 
     compare = sub.add_parser("compare", help="compare schemes on a workload")
     compare.add_argument("--workload", required=True,
@@ -49,6 +56,8 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--schemes", default=",".join(DEFAULT_SCHEMES))
     compare.add_argument("--scale", default="small", choices=_SCALES)
     compare.add_argument("--hosts", type=int, default=4)
+    compare.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fault-injection spec (see 'run --faults')")
 
     check = sub.add_parser("check", help="model-check the protocols")
     check.add_argument("--hosts", type=int, default=3)
@@ -66,6 +75,9 @@ def _config_for(args) -> SystemConfig:
         cfg = cfg.replace_nested(
             "cxl_link", bandwidth_gbs=args.link_bandwidth_gbs
         )
+    if getattr(args, "faults", None) is not None:
+        cfg = dataclasses.replace(cfg, faults=FaultConfig.parse(args.faults))
+        cfg.validate()
     return cfg
 
 
@@ -81,6 +93,10 @@ def _cmd_run(args) -> int:
           f"(demotions {result.demotions})")
     if result.mgmt_ns:
         print(f"  kernel mgmt time : {pretty_time(result.mgmt_ns)}")
+    if getattr(args, "faults", None) is not None:
+        report = format_fault_report(result.stats)
+        if report:
+            print(report)
     return 0
 
 
@@ -107,6 +123,9 @@ def _cmd_compare(args) -> int:
         ["scheme", "speedup", "local hits", "interhost stalls", "migrations"],
         rows,
     ))
+    if getattr(args, "faults", None) is not None:
+        for result in results.values():
+            print(f"  {result.resilience_summary()}")
     return 0
 
 

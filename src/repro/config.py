@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from . import units
 from .units import GB, KB, MB, MS, NS, US
@@ -143,6 +143,152 @@ class KernelMigrationConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection model (resilience extension; not in the paper).
+
+    All fault sources are deterministic functions of ``seed`` and simulated
+    time, so a faulted run is reproducible bit-for-bit.  A configured but
+    all-zero instance (the ``none`` preset) is provably free: every
+    fast-path check degenerates to a no-op and simulation output is
+    byte-identical to a run with ``faults=None``.
+    """
+
+    seed: int = 42
+    # -- transient CRC-style transfer errors -------------------------------
+    transfer_error_rate: float = 0.0  # per link message, per attempt
+    max_attempts: int = 4  # bounded retry before giving up
+    retry_backoff_ns: float = 50.0  # base backoff; doubles per retry
+    giveup_penalty_ns: float = 2000.0  # recovery charge on demand accesses
+    # -- transactional migrations ------------------------------------------
+    migration_timeout_ns: float = 1 * MS  # bulk transfer abort threshold
+    # -- degraded-link window ----------------------------------------------
+    degrade_start_ns: float = 0.0
+    degrade_end_ns: float = 0.0  # end <= start disables the window
+    degrade_latency_x: float = 1.0  # multiplies one-way latency
+    degrade_bandwidth_x: float = 1.0  # divides per-direction bandwidth
+    degrade_hosts: Tuple[int, ...] = ()  # empty = every host's link
+    # -- host pause/stall windows ------------------------------------------
+    stall_period_ns: float = 0.0  # 0 disables stalls
+    stall_duration_ns: float = 0.0
+    stall_hosts: Tuple[int, ...] = ()  # empty = every host
+    # -- poisoned cache lines ----------------------------------------------
+    poison_count: int = 0
+    poison_period_ns: float = 0.0  # event k fires at (k+1) * period
+    poison_penalty_ns: float = 500.0  # scrub/re-fetch charge on access
+    # -- invariant watchdog ------------------------------------------------
+    watchdog_period_ns: float = 0.0  # 0 = post-run audit only
+    watchdog_mode: str = "log"  # "log" or "fail-fast"
+
+    #: Named starting points for ``FaultConfig.parse``.
+    PRESETS = {
+        "none": {},
+        "flaky": {"transfer_error_rate": 1e-3},
+        "degraded": {
+            "transfer_error_rate": 5e-4,
+            "degrade_start_ns": 0.0,
+            "degrade_end_ns": 1e12,
+            "degrade_latency_x": 4.0,
+            "degrade_bandwidth_x": 4.0,
+        },
+        "storm": {
+            "transfer_error_rate": 5e-3,
+            "degrade_start_ns": 0.0,
+            "degrade_end_ns": 1e12,
+            "degrade_latency_x": 4.0,
+            "degrade_bandwidth_x": 4.0,
+            "stall_period_ns": 2e6,
+            "stall_duration_ns": 2e5,
+            "poison_count": 16,
+            "poison_period_ns": 1e6,
+        },
+    }
+
+    @property
+    def has_degrade_window(self) -> bool:
+        return self.degrade_end_ns > self.degrade_start_ns and (
+            self.degrade_latency_x > 1.0 or self.degrade_bandwidth_x > 1.0
+        )
+
+    @property
+    def has_stalls(self) -> bool:
+        return self.stall_period_ns > 0 and self.stall_duration_ns > 0
+
+    @property
+    def has_poison(self) -> bool:
+        return self.poison_count > 0 and self.poison_period_ns > 0
+
+    @property
+    def idle(self) -> bool:
+        """True when no fault source can ever fire (the zero plan)."""
+        return (
+            self.transfer_error_rate <= 0.0
+            and not self.has_degrade_window
+            and not self.has_stalls
+            and not self.has_poison
+        )
+
+    def validate(self) -> None:
+        if not 0.0 <= self.transfer_error_rate < 1.0:
+            raise ValueError("transfer_error_rate must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.degrade_latency_x < 1.0 or self.degrade_bandwidth_x < 1.0:
+            raise ValueError("degrade multipliers must be >= 1")
+        if self.migration_timeout_ns <= 0:
+            raise ValueError("migration_timeout_ns must be positive")
+        if self.watchdog_mode not in ("log", "fail-fast"):
+            raise ValueError(
+                f"watchdog_mode must be 'log' or 'fail-fast', "
+                f"got {self.watchdog_mode!r}"
+            )
+        for knob in ("retry_backoff_ns", "giveup_penalty_ns", "stall_period_ns",
+                     "stall_duration_ns", "poison_period_ns",
+                     "poison_penalty_ns", "watchdog_period_ns"):
+            if getattr(self, knob) < 0:
+                raise ValueError(f"{knob} must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Build a config from a CLI spec: ``preset[:key=val,key=val,...]``.
+
+        ``spec`` may also be a bare override list (applied to the ``none``
+        preset).  Host lists use ``+``: ``degrade_hosts=0+2``.  Dashes in
+        key names are accepted (``error-rate`` == ``error_rate``).
+        """
+        spec = spec.strip()
+        preset, _, rest = spec.partition(":")
+        if "=" in preset:  # bare overrides, no preset name
+            preset, rest = "none", spec
+        if preset not in cls.PRESETS:
+            raise ValueError(
+                f"unknown fault preset {preset!r}; choose from "
+                f"{sorted(cls.PRESETS)}"
+            )
+        values: Dict[str, Any] = dict(cls.PRESETS[preset])
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        for token in filter(None, (t.strip() for t in rest.split(","))):
+            key, sep, raw = token.partition("=")
+            key = key.strip().replace("-", "_")
+            if not sep or key not in fields:
+                raise ValueError(f"bad fault override {token!r}")
+            if key in ("degrade_hosts", "stall_hosts"):
+                values[key] = tuple(
+                    int(h) for h in raw.split("+") if h.strip()
+                )
+            elif key == "watchdog_mode":
+                values[key] = raw.strip()
+            elif fields[key].type == "int" or isinstance(
+                fields[key].default, int
+            ):
+                values[key] = int(float(raw))
+            else:
+                values[key] = float(raw)
+        config = cls(**values)
+        config.validate()
+        return config
+
+
+@dataclass(frozen=True)
 class CoreConfig:
     """Analytic OoO core model parameters."""
 
@@ -180,6 +326,8 @@ class SystemConfig:
     local_dir_latency_ns: float = 2.5  # per-processor coherence directory
     # Fraction of each host's local DRAM usable for migrated pages.
     migration_capacity_fraction: float = 0.5
+    #: Optional fault-injection model; ``None`` = perfect fabric.
+    faults: Optional[FaultConfig] = None
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -198,6 +346,14 @@ class SystemConfig:
             raise ValueError("migration threshold exceeds local counter range")
         if not 0.0 < self.migration_capacity_fraction <= 1.0:
             raise ValueError("migration_capacity_fraction must be in (0, 1]")
+        if self.faults is not None:
+            self.faults.validate()
+            for host in (*self.faults.degrade_hosts, *self.faults.stall_hosts):
+                if not 0 <= host < self.num_hosts:
+                    raise ValueError(
+                        f"fault plan names host {host}, system has "
+                        f"{self.num_hosts}"
+                    )
 
     def replace(self, **overrides: Any) -> "SystemConfig":
         """A copy with top-level fields replaced (``dataclasses.replace``)."""
@@ -308,7 +464,7 @@ class SystemConfig:
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, str]:
         """Human-readable description of the configuration (Table 2 rows)."""
-        return {
+        rows = {
             "Architecture": (
                 f"{self.num_hosts} hosts, {self.cores_per_host} cores each"
             ),
@@ -350,6 +506,14 @@ class SystemConfig:
                 f"{units.pretty_time(self.kernel.initiator_cost_ns)}/page initiator"
             ),
         }
+        if self.faults is not None:
+            rows["Faults"] = (
+                f"seed {self.faults.seed}, "
+                f"xfer error rate {self.faults.transfer_error_rate:g}, "
+                f"max attempts {self.faults.max_attempts}, "
+                f"watchdog {self.faults.watchdog_mode}"
+            )
+        return rows
 
 
 DEFAULT_CONFIG = SystemConfig.scaled()

@@ -1,0 +1,145 @@
+"""Runtime fault injection: the hooks the timing models consult.
+
+The :class:`FaultInjector` owns one seeded RNG stream per link so error
+draws are reproducible and independent of how other links behave.  Links
+consult their :class:`LinkFaultModel` on every transfer; the system model
+consults the injector for degraded-link gating, host stalls, and poisoned
+lines; everything feeds one shared :class:`FaultCounters` record that the
+simulation result reports from.
+
+The zero-plan guarantee: when a fault source cannot fire, the
+corresponding hook is ``None`` (links) or short-circuits on a cached
+boolean (stalls/poison), so an all-zero plan leaves the simulated timing
+bit-for-bit identical to a run with faults disabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from .plan import FaultPlan, LinkDegradeWindow
+
+
+@dataclass
+class FaultCounters:
+    """Every fault/recovery event the resilience evaluation reports on."""
+
+    injected_errors: int = 0  # transfer attempts that drew an error
+    link_retries: int = 0  # failed attempts that were retried
+    link_giveups: int = 0  # transfers that exhausted the retry budget
+    migration_aborts: int = 0  # migrations abandoned mid-flight
+    migration_timeouts: int = 0  # aborts caused by the transfer timeout
+    rollbacks: int = 0  # remap-table snapshots restored
+    degraded_skips: int = 0  # migration-policy work skipped on a degraded link
+    host_stall_ns: float = 0.0  # simulated time lost to host pauses
+    poison_recoveries: int = 0  # poisoned-line scrub-and-refetch events
+    recovery_ns: float = 0.0  # latency charged to fault recovery
+
+
+class LinkFaultModel:
+    """Per-link fault state: error stream + degradation windows."""
+
+    __slots__ = ("host", "error_rate", "max_attempts", "retry_backoff_ns",
+                 "giveup_penalty_ns", "windows", "counters", "_rng")
+
+    def __init__(
+        self,
+        host: int,
+        plan: FaultPlan,
+        counters: FaultCounters,
+    ) -> None:
+        config = plan.config
+        self.host = host
+        self.error_rate = config.transfer_error_rate
+        self.max_attempts = config.max_attempts
+        self.retry_backoff_ns = config.retry_backoff_ns
+        self.giveup_penalty_ns = config.giveup_penalty_ns
+        self.windows: List[LinkDegradeWindow] = plan.windows_for(host)
+        self.counters = counters
+        # One independent deterministic stream per link.
+        self._rng = random.Random(config.seed * 0x9E3779B1 + host)
+
+    def window_at(self, now: float) -> Optional[LinkDegradeWindow]:
+        for window in self.windows:
+            if window.active(now):
+                return window
+        return None
+
+    def degraded(self, now: float) -> bool:
+        return self.window_at(now) is not None
+
+    def draw_error(self) -> bool:
+        """One CRC-error draw.  Never called when the rate is zero."""
+        if self._rng.random() < self.error_rate:
+            self.counters.injected_errors += 1
+            return True
+        return False
+
+
+class FaultInjector:
+    """All runtime fault state for one simulation run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        self._links: List[Optional[LinkFaultModel]] = [
+            LinkFaultModel(host, plan, self.counters)
+            if plan.config.transfer_error_rate > 0.0 or plan.windows_for(host)
+            else None
+            for host in range(plan.num_hosts)
+        ]
+        # -- host stalls -------------------------------------------------
+        self.has_stalls = bool(plan.stall_windows)
+        # -- poison ------------------------------------------------------
+        self._poison_queue = list(plan.poison_events)  # sorted by at_ns
+        self._poison_idx = 0
+        self.poisoned: Set[int] = set()
+        self.has_poison = bool(self._poison_queue)
+        self.poison_penalty_ns = plan.config.poison_penalty_ns
+        self.migration_timeout_ns = plan.config.migration_timeout_ns
+
+    # -- links -----------------------------------------------------------
+    def link(self, host: int) -> Optional[LinkFaultModel]:
+        """The per-link fault hook, or ``None`` when nothing can fire."""
+        return self._links[host]
+
+    def link_degraded(self, host: int, now: float) -> bool:
+        model = self._links[host]
+        return model is not None and model.degraded(now)
+
+    @property
+    def can_disrupt_transfers(self) -> bool:
+        return self.plan.can_disrupt_transfers
+
+    # -- host stalls ------------------------------------------------------
+    def stall_resume(self, host: int, now: float) -> Optional[float]:
+        """When the stall window covering ``now`` ends, if any."""
+        return self.plan.stall_resume(host, now)
+
+    # -- poisoned lines ---------------------------------------------------
+    @property
+    def next_poison_ns(self) -> float:
+        if self._poison_idx >= len(self._poison_queue):
+            return float("inf")
+        return self._poison_queue[self._poison_idx].at_ns
+
+    def activate_poison(self, now: float) -> List[int]:
+        """Lines whose poison events came due by ``now`` (consumed once)."""
+        due: List[int] = []
+        queue = self._poison_queue
+        while self._poison_idx < len(queue) and (
+            queue[self._poison_idx].at_ns <= now
+        ):
+            line = queue[self._poison_idx].line
+            self._poison_idx += 1
+            if line not in self.poisoned:
+                self.poisoned.add(line)
+                due.append(line)
+        return due
+
+    def clear_poison(self, line: int) -> None:
+        self.poisoned.discard(line)
+        self.counters.poison_recoveries += 1
+        self.counters.recovery_ns += self.poison_penalty_ns

@@ -1,0 +1,149 @@
+"""Deterministic fault plans: what misbehaves, where, and when.
+
+A :class:`FaultPlan` expands the scalar knobs of
+:class:`repro.config.FaultConfig` into concrete, seed-derived events laid
+out against simulated time: per-link degradation windows, per-host stall
+windows, and poisoned-line events.  Transient transfer errors stay
+rate-based (drawn from per-link seeded RNG streams inside the injector) so
+they scale with traffic instead of requiring a pre-materialized schedule.
+
+Everything here is pure data; the :mod:`repro.faults.injector` turns a plan
+into the runtime hooks the link/system/engine models consult.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import FaultConfig
+
+
+@dataclass(frozen=True)
+class LinkDegradeWindow:
+    """One interval during which a host's CXL link runs degraded."""
+
+    host: int
+    start_ns: float
+    end_ns: float
+    latency_x: float = 1.0  # multiplies the one-way latency
+    bandwidth_x: float = 1.0  # divides the per-direction bandwidth
+
+    def active(self, now: float) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+
+@dataclass(frozen=True)
+class HostStallWindow:
+    """One interval during which a host executes nothing (pause/OS stall)."""
+
+    host: int
+    start_ns: float
+    duration_ns: float
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass(frozen=True)
+class PoisonEvent:
+    """A cache line in CXL memory becomes poisoned at ``at_ns``."""
+
+    at_ns: float
+    line: int
+
+
+@dataclass
+class FaultPlan:
+    """A fully materialized, reproducible fault schedule for one run."""
+
+    config: FaultConfig
+    num_hosts: int
+    degrade_windows: Dict[int, List[LinkDegradeWindow]] = field(
+        default_factory=dict
+    )
+    stall_windows: Dict[int, List[HostStallWindow]] = field(
+        default_factory=dict
+    )
+    poison_events: List[PoisonEvent] = field(default_factory=list)
+
+    @classmethod
+    def from_config(
+        cls, config: FaultConfig, num_hosts: int, num_lines: int
+    ) -> "FaultPlan":
+        """Expand scalar knobs into concrete seeded events.
+
+        ``num_lines`` bounds the poisonable line range (the CXL-DSM pool).
+        """
+        config.validate()
+        plan = cls(config=config, num_hosts=num_hosts)
+
+        if config.has_degrade_window:
+            hosts = config.degrade_hosts or tuple(range(num_hosts))
+            for host in hosts:
+                plan.degrade_windows[host] = [
+                    LinkDegradeWindow(
+                        host,
+                        config.degrade_start_ns,
+                        config.degrade_end_ns,
+                        config.degrade_latency_x,
+                        config.degrade_bandwidth_x,
+                    )
+                ]
+
+        if config.has_stalls:
+            # Stall windows repeat every period; materialization is lazy
+            # (see stall_resume) because trace duration is unknown here.
+            hosts = config.stall_hosts or tuple(range(num_hosts))
+            for host in hosts:
+                plan.stall_windows[host] = []  # marker: host stalls
+
+        if config.has_poison and num_lines > 0:
+            rng = random.Random(config.seed * 0x9E3779B1 + 1)
+            plan.poison_events = sorted(
+                (
+                    PoisonEvent(
+                        (k + 1) * config.poison_period_ns,
+                        rng.randrange(num_lines),
+                    )
+                    for k in range(config.poison_count)
+                ),
+                key=lambda e: e.at_ns,
+            )
+        return plan
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """No fault source can ever fire."""
+        return (
+            self.config.transfer_error_rate <= 0.0
+            and not self.degrade_windows
+            and not self.stall_windows
+            and not self.poison_events
+        )
+
+    @property
+    def can_disrupt_transfers(self) -> bool:
+        """Transfers may fail or time out (migrations need transactions)."""
+        return self.config.transfer_error_rate > 0.0 or bool(
+            self.degrade_windows
+        )
+
+    def windows_for(self, host: int) -> List[LinkDegradeWindow]:
+        return self.degrade_windows.get(host, [])
+
+    def stall_resume(self, host: int, now: float) -> Optional[float]:
+        """If ``host`` is inside a stall window at ``now``, when it ends."""
+        if host not in self.stall_windows:
+            return None
+        period = self.config.stall_period_ns
+        start = (now // period) * period
+        if start <= 0:
+            return None  # no window before the first period boundary
+        end = start + self.config.stall_duration_ns
+        if start <= now < end:
+            return end
+        return None

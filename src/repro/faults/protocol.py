@@ -1,0 +1,68 @@
+"""Message-level faults for the coherence protocol models.
+
+The timing-layer injector perturbs *latencies*; this wrapper perturbs the
+*protocol layer*: it wraps any coherence model (``BaseCxlDsmModel``,
+``PipmModel``) and injects CRC-style delivery failures in front of
+``apply``.  Because protocol transactions are atomic (the paper's locked
+implementation), a failed delivery is retried and then applied whole — a
+message-delay fault changes *when* a transaction lands, never *what* it
+does.  Running the litmus suite and the model checker over the wrapped
+model verifies exactly that: Sequential Consistency survives a lossy,
+retrying fabric.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Tuple
+
+
+class MessageFaultModel:
+    """A protocol model whose message deliveries transiently fail.
+
+    Drop-in wrapper: exposes the same surface the model checker and the
+    litmus runner use, delegating everything to the inner model while
+    drawing seeded delivery errors (each error = one retry) per ``apply``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        seed: int = 42,
+        error_rate: float = 0.2,
+        max_attempts: int = 4,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self.inner = inner
+        self.error_rate = error_rate
+        self.max_attempts = max_attempts
+        self.retries = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+msg-faults"
+
+    # -- checker/litmus surface, delegated -------------------------------
+    def initial_state(self):
+        return self.inner.initial_state()
+
+    def canonicalize(self, state):
+        return self.inner.canonicalize(state)
+
+    def enabled_actions(self, state):
+        return self.inner.enabled_actions(state)
+
+    def invariant_violations(self, state):
+        return self.inner.invariant_violations(state)
+
+    def apply(self, state, action) -> Tuple[Any, Dict]:
+        # CRC retries delay delivery; the transaction still lands atomically.
+        attempt = 1
+        while attempt < self.max_attempts and (
+            self._rng.random() < self.error_rate
+        ):
+            self.retries += 1
+            attempt += 1
+        return self.inner.apply(state, action)

@@ -166,6 +166,13 @@ class FrameAllocator:
             raise ValueError(f"freeing pfn {pfn} that was never allocated")
         self._free.append(pfn)
 
+    def reclaim(self, pfn: int) -> None:
+        """Re-allocate a specific recently freed PFN (rollback support)."""
+        try:
+            self._free.remove(pfn)
+        except ValueError:
+            raise ValueError(f"pfn {pfn} is not on the free list") from None
+
     @property
     def in_use(self) -> int:
         return self._next_fresh - len(self._free)

@@ -5,6 +5,14 @@ configured one-way latency plus serialization at the per-direction
 bandwidth, plus queueing behind earlier traffic in the same direction.
 Inter-host (4-hop) traffic traverses two links — the requester's and the
 owner's — which the system model composes from two :class:`CxlLink` calls.
+
+Resilience: a link may carry an attached fault model (see
+:mod:`repro.faults`).  Faulty transfers retry with exponential backoff; a
+transfer that exhausts its retry budget either absorbs a give-up penalty
+(demand traffic, which must complete) or raises :class:`LinkTransferError`
+(bulk migration traffic, which a transactional caller aborts and rolls
+back).  When no fault model is attached the original single-path timing
+code runs unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +28,25 @@ TO_DEVICE = 0
 TO_HOST = 1
 
 
+class LinkTransferError(Exception):
+    """A link transfer exhausted its retry budget.
+
+    Raised only on *faultable* transfers — bulk migration traffic that a
+    transactional caller can abort and roll back.  Demand accesses never
+    raise; they absorb a recovery penalty instead.
+    """
+
+    def __init__(self, host: int, direction: int, size_bytes: int,
+                 reason: str = "retries exhausted") -> None:
+        super().__init__(
+            f"link {host} dir {direction}: {reason} ({size_bytes}B transfer)"
+        )
+        self.host = host
+        self.direction = direction
+        self.size_bytes = size_bytes
+        self.reason = reason
+
+
 class CxlLink:
     """One bidirectional host <-> CXL-node link."""
 
@@ -27,9 +54,22 @@ class CxlLink:
         self.config = config
         self._busy_until = [0.0, 0.0]
         self._stats = stats
+        self._faults = None  # Optional[repro.faults.LinkFaultModel]
+
+    def attach_faults(self, model) -> None:
+        """Attach a per-link fault model (``None`` detaches)."""
+        self._faults = model
 
     def transfer(self, direction: int, now: float, size_bytes: int) -> float:
         """Latency (ns) for ``size_bytes`` in ``direction`` starting ``now``."""
+        if size_bytes <= 0:
+            raise ValueError(
+                f"transfer size must be positive, got {size_bytes}"
+            )
+        if self._faults is not None:
+            return self._transfer_with_faults(
+                direction, now, size_bytes, faultable=False
+            )
         serialization = units.transfer_ns(size_bytes, self.config.bandwidth_gbs)
         queue_delay = max(0.0, self._busy_until[direction] - now)
         self._busy_until[direction] = (
@@ -40,6 +80,73 @@ class CxlLink:
             self._stats.add("bytes", size_bytes)
             self._stats.add("queue_ns", queue_delay)
         return self.config.latency_ns + queue_delay + serialization
+
+    def try_transfer(self, direction: int, now: float, size_bytes: int) -> float:
+        """Like :meth:`transfer`, but raises :class:`LinkTransferError` when
+        the retry budget runs out instead of absorbing a give-up penalty.
+
+        Use for abortable bulk traffic (page/line migration payloads).
+        """
+        if size_bytes <= 0:
+            raise ValueError(
+                f"transfer size must be positive, got {size_bytes}"
+            )
+        if self._faults is None:
+            return self.transfer(direction, now, size_bytes)
+        return self._transfer_with_faults(
+            direction, now, size_bytes, faultable=True
+        )
+
+    def _transfer_with_faults(
+        self, direction: int, now: float, size_bytes: int, faultable: bool
+    ) -> float:
+        """The degraded/retrying path; only runs with a fault model attached."""
+        faults = self._faults
+        latency_ns = self.config.latency_ns
+        bandwidth = self.config.bandwidth_gbs
+        window = faults.window_at(now)
+        if window is not None:
+            latency_ns *= window.latency_x
+            bandwidth /= window.bandwidth_x
+        serialization = units.transfer_ns(size_bytes, bandwidth)
+        queue_delay = max(0.0, self._busy_until[direction] - now)
+        self._busy_until[direction] = (
+            max(self._busy_until[direction], now) + serialization
+        )
+        if self._stats is not None:
+            self._stats.add("messages")
+            self._stats.add("bytes", size_bytes)
+            self._stats.add("queue_ns", queue_delay)
+        total = latency_ns + queue_delay + serialization
+
+        if faults.error_rate > 0.0:
+            attempt = 1
+            while faults.draw_error():
+                if attempt >= faults.max_attempts:
+                    faults.counters.link_giveups += 1
+                    if self._stats is not None:
+                        self._stats.add("giveups")
+                    if faultable:
+                        raise LinkTransferError(
+                            faults.host, direction, size_bytes
+                        )
+                    # Demand traffic must complete: charge the recovery
+                    # penalty (scrub + re-issue through a clean path).
+                    faults.counters.recovery_ns += faults.giveup_penalty_ns
+                    total += faults.giveup_penalty_ns
+                    break
+                # Retry: exponential backoff, then the wire time again.
+                backoff = faults.retry_backoff_ns * (2 ** (attempt - 1))
+                faults.counters.link_retries += 1
+                if self._stats is not None:
+                    self._stats.add("retries")
+                self._busy_until[direction] += serialization
+                if self._stats is not None:
+                    self._stats.add("messages")
+                    self._stats.add("bytes", size_bytes)
+                total += backoff + serialization
+                attempt += 1
+        return total
 
     def round_trip(
         self,
@@ -52,11 +159,24 @@ class CxlLink:
         back = self.transfer(TO_HOST, now + out, response_bytes)
         return out + back
 
+    def try_round_trip(
+        self,
+        now: float,
+        request_bytes: int = units.CACHE_LINE,
+        response_bytes: int = units.CACHE_LINE,
+    ) -> float:
+        """Abortable round trip: raises :class:`LinkTransferError` on give-up."""
+        out = self.try_transfer(TO_DEVICE, now, request_bytes)
+        back = self.try_transfer(TO_HOST, now + out, response_bytes)
+        return out + back
+
     def occupancy_until(self, direction: int) -> float:
         return self._busy_until[direction]
 
     def reset(self) -> None:
         self._busy_until = [0.0, 0.0]
+        if self._stats is not None:
+            self._stats.clear()
 
 
 #: Size of a bare coherence/control message on the link (header-only flit).

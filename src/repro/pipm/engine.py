@@ -40,6 +40,27 @@ class PipmCounters:
     peak_lines: Dict[int, int] = field(default_factory=dict)
 
 
+@dataclass
+class PageMigrationTxn:
+    """Pre-migration snapshot of every structure a migration step mutates.
+
+    Captured by :meth:`PipmEngine.begin_txn` before an inter-host
+    migrate-back/revocation sequence; :meth:`PipmEngine.rollback` restores
+    the global entry, the owner's local entry, the owner's frame allocator
+    and remap cache, and the event counters to this snapshot bit-for-bit.
+    """
+
+    owner: int
+    page: int
+    #: (current_host, candidate_host, counter) or None if never materialized.
+    global_entry: Optional[Tuple[int, int, int]]
+    #: (local_pfn, counter, migrated_lines) or None if not resident.
+    local_entry: Optional[Tuple[int, int, int]]
+    cache_resident: bool
+    #: (migrate_backs, revocations, revoked_lines, incremental_migrations)
+    counters: Tuple[int, int, int, int]
+
+
 class PipmEngine:
     """All PIPM migration state for one multi-host system."""
 
@@ -222,6 +243,76 @@ class PipmEngine:
         self.counters.revocations += 1
         self.counters.revoked_lines += len(lines)
         return lines
+
+    # -- transactional migration (fault-injection support) -----------------
+    def begin_txn(self, owner: int, page: int) -> PageMigrationTxn:
+        """Snapshot everything an inter-host migration step may mutate."""
+        global_entry = self.global_table.peek(page)
+        global_snap = None
+        if global_entry is not None:
+            global_snap = (
+                global_entry.current_host,
+                global_entry.candidate_host,
+                global_entry.counter,
+            )
+        local = self.local_tables[owner].lookup(page)
+        local_snap = None
+        if local is not None:
+            local_snap = (local.local_pfn, local.counter, local.migrated_lines)
+        counters = self.counters
+        return PageMigrationTxn(
+            owner=owner,
+            page=page,
+            global_entry=global_snap,
+            local_entry=local_snap,
+            cache_resident=self.local_caches[owner].contains(page),
+            counters=(
+                counters.migrate_backs,
+                counters.revocations,
+                counters.revoked_lines,
+                counters.incremental_migrations,
+            ),
+        )
+
+    def rollback(self, txn: PageMigrationTxn) -> None:
+        """Restore the pre-migration snapshot captured by :meth:`begin_txn`."""
+        owner, page = txn.owner, txn.page
+        # Global remap entry.
+        if txn.global_entry is None:
+            self.global_table.discard(page)
+        else:
+            entry = self.global_table.entry(page)
+            entry.current_host = txn.global_entry[0]
+            entry.candidate_host = txn.global_entry[1]
+            entry.counter = txn.global_entry[2]
+        # Owner's local remap entry + frame allocator.
+        table = self.local_tables[owner]
+        current = table.lookup(page)
+        if txn.local_entry is None:
+            if current is not None:
+                table.remove(page)
+                self.local_caches[owner].invalidate(page)
+                self.frames[owner].free(current.local_pfn)
+        else:
+            pfn, counter, migrated_lines = txn.local_entry
+            if current is None:
+                # The migration revoked the mapping; reclaim the exact frame
+                # and reinsert the snapshotted entry bit-for-bit.
+                self.frames[owner].reclaim(pfn)
+                table.restore(page, pfn, counter, migrated_lines)
+                if txn.cache_resident:
+                    self.local_caches[owner].install(page)
+            else:
+                current.counter = counter
+                current.migrated_lines = migrated_lines
+        # Event counters.
+        counters = self.counters
+        (
+            counters.migrate_backs,
+            counters.revocations,
+            counters.revoked_lines,
+            counters.incremental_migrations,
+        ) = txn.counters
 
     # -- software interface (Section 6 extension) -------------------------
     def pin_to_cxl(self, page: int) -> None:

@@ -40,6 +40,10 @@ class RemapCache:
         """True on a cache hit for ``page`` (and touches recency)."""
         return self._cache.lookup(page) is not None
 
+    def contains(self, page: int) -> bool:
+        """Presence check with no stats or recency side effects."""
+        return self._cache.contains(page)
+
     def install(self, page: int) -> Optional[int]:
         """Install ``page``; returns an evicted page index, if any."""
         victim = self._cache.fill(page)
@@ -78,6 +82,9 @@ class InfiniteRemapCache(RemapCache):
 
     def probe(self, page: int) -> bool:
         self._probes += 1
+        return True
+
+    def contains(self, page: int) -> bool:
         return True
 
     def install(self, page: int) -> Optional[int]:

@@ -65,6 +65,11 @@ class GlobalRemapTable:
         entry = self._entries.get(page)
         return entry.current_host if entry is not None else NO_HOST
 
+    def discard(self, page: int) -> None:
+        """Drop a lazily materialized entry (rollback to the all-zeros state)."""
+        self._check(page)
+        self._entries.pop(page, None)
+
     def _check(self, page: int) -> None:
         if page < 0 or page >= self.num_pages:
             raise ValueError(

@@ -85,6 +85,22 @@ class LocalRemapTable:
         self._leaves_touched.add(page // LEAF_ENTRIES)
         return entry
 
+    def restore(
+        self, page: int, local_pfn: int, counter: int, migrated_lines: int
+    ) -> LocalRemapEntry:
+        """Raw reinsert of a snapshotted entry, bit-for-bit (rollback path).
+
+        Unlike :meth:`insert`, does not reset the counter and restores the
+        migrated-line bitmask exactly as captured.
+        """
+        if page in self._entries:
+            raise ValueError(f"page {page:#x} already partially migrated here")
+        entry = LocalRemapEntry(page, local_pfn, counter=counter)
+        entry.migrated_lines = migrated_lines
+        self._entries[page] = entry
+        self._leaves_touched.add(page // LEAF_ENTRIES)
+        return entry
+
     def remove(self, page: int) -> LocalRemapEntry:
         entry = self._entries.pop(page, None)
         if entry is None:

@@ -30,6 +30,22 @@ class SimulationEngine:
                 f"trace has {trace.num_hosts} hosts, system has "
                 f"{system.config.num_hosts}"
             )
+        total = 0
+        for host_id, stream in enumerate(trace.streams):
+            total += len(stream)
+            for index, record in enumerate(stream):
+                if record[0] < 0:
+                    raise ValueError(
+                        f"trace {trace.name!r}: host {host_id} record "
+                        f"{index} has a negative inter-access gap "
+                        f"({record[0]} ns); simulated time cannot run "
+                        f"backwards"
+                    )
+        if total == 0:
+            raise ValueError(
+                f"trace {trace.name!r} contains no accesses on any host; "
+                f"nothing to simulate"
+            )
         self.system = system
         self.trace = trace
 
@@ -39,6 +55,12 @@ class SimulationEngine:
         hosts = system.hosts
         streams = trace.streams
         interval_scheme = system._next_interval is not None
+        injector = system.injector
+        check_stalls = injector is not None and injector.has_stalls
+        watchdog = system.watchdog
+        check_watchdog = (
+            watchdog is not None and watchdog.period_ns > 0
+        )
 
         stall_by_service = [0.0] * 7
         access_total = 0
@@ -59,11 +81,22 @@ class SimulationEngine:
                 # so interleaving stays time-ordered.
                 heapq.heappush(heap, (host.clock_ns, host_id, index))
                 continue
+            if check_stalls:
+                resume = injector.stall_resume(host_id, clock)
+                if resume is not None and resume > clock:
+                    # The host is inside a pause/stall window: it executes
+                    # nothing until the window ends.
+                    injector.counters.host_stall_ns += resume - clock
+                    host.clock_ns = resume
+                    heapq.heappush(heap, (resume, host_id, index))
+                    continue
             gap, addr, is_write, core = streams[host_id][index]
             host.advance_compute(gap)
             now = host.clock_ns
             if interval_scheme:
                 system.maybe_tick(now)
+            if check_watchdog:
+                watchdog.maybe_audit(now)
             latency, service = system.access(host_id, core, addr,
                                              bool(is_write), now)
             host.accesses += 1
@@ -77,6 +110,9 @@ class SimulationEngine:
                 heapq.heappush(heap, (host.clock_ns, host_id, index))
 
         system.finalize()
+        if watchdog is not None:
+            # One final end-of-run consistency sweep.
+            watchdog.audit(max((h.clock_ns for h in hosts), default=0.0))
         return self._collect(stall_by_service, access_total)
 
     def _collect(self, stall_by_service, access_total) -> SimulationResult:
@@ -133,6 +169,9 @@ class SimulationEngine:
             result.stats["local_remap_cache_hit_rate"] = (
                 hits / (hits + misses) if hits + misses else 0.0
             )
+        # Fault/recovery counters appear only when they fired, so an idle
+        # fault plan leaves the result identical to a faults-disabled run.
+        result.stats.update(system.fault_stats())
         return result
 
 

@@ -123,6 +123,30 @@ class SimulationResult:
             "total": ratio(self.exec_time_ns, native_exec_ns),
         }
 
+    # -- fault injection / resilience ---------------------------------------
+    @property
+    def fault_stats(self) -> Dict[str, float]:
+        """The ``fault_*``/``watchdog_*`` counters this run reported.
+
+        Empty when fault injection was disabled or configured but idle.
+        """
+        return {
+            key: value
+            for key, value in self.stats.items()
+            if key.startswith("fault_") or key.startswith("watchdog_")
+        }
+
+    def resilience_summary(self) -> str:
+        """One line of fault/recovery counters, or a clean-run marker."""
+        stats = self.fault_stats
+        if not stats:
+            return f"{self.workload}/{self.scheme}: no faults fired"
+        parts = " ".join(
+            f"{key.replace('fault_', '')}={value:g}"
+            for key, value in sorted(stats.items())
+        )
+        return f"{self.workload}/{self.scheme}: {parts}"
+
     def summary(self) -> str:
         points = {ServicePoint(k).name: v for k, v in self.service_counts.items()}
         return (

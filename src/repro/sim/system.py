@@ -28,10 +28,19 @@ from .. import units
 from ..analysis.harmful import MigrationLedger
 from ..cache.directory import SlicedDirectory
 from ..config import SystemConfig
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.watchdog import InvariantWatchdog
 from ..host.host import Host
 from ..mem.address import AddressMap, FrameAllocator
 from ..mem.controller import MemoryController
-from ..mem.cxl_link import CONTROL_BYTES, TO_DEVICE, TO_HOST, CxlLink
+from ..mem.cxl_link import (
+    CONTROL_BYTES,
+    TO_DEVICE,
+    TO_HOST,
+    CxlLink,
+    LinkTransferError,
+)
 from ..pipm.engine import PipmEngine
 from ..pipm.remap_global import NO_HOST
 from ..policies.base import Mechanism, MigrationScheme
@@ -93,6 +102,31 @@ class MultiHostSystem:
         self.cxl_mem = MemoryController(
             config.cxl_dram, self.stats.scoped("cxl_mem")
         )
+
+        # -- fault injection (optional; zero-cost when idle) ---------------
+        self.injector: Optional[FaultInjector] = None
+        self.watchdog: Optional[InvariantWatchdog] = None
+        self._faults_on = False
+        if config.faults is not None:
+            num_lines = self.address_map.cxl_capacity // units.CACHE_LINE
+            if footprint_pages is not None:
+                # Poison lines the workload can actually touch; the rest of
+                # the pool is never accessed, so poison there never surfaces.
+                num_lines = min(
+                    num_lines, footprint_pages * units.LINES_PER_PAGE
+                )
+            plan = FaultPlan.from_config(
+                config.faults, config.num_hosts, num_lines
+            )
+            self.injector = FaultInjector(plan)
+            for h, link in enumerate(self.links):
+                link.attach_faults(self.injector.link(h))
+            self._faults_on = self.injector.can_disrupt_transfers
+            self.watchdog = InvariantWatchdog(
+                self,
+                mode=config.faults.watchdog_mode,
+                period_ns=config.faults.watchdog_period_ns,
+            )
 
         frames_per_host = int(
             config.local_dram.capacity_bytes
@@ -193,6 +227,17 @@ class MultiHostSystem:
 
         shared = addr < self.address_map.cxl_end
         lat = host.tlb.translate(page) + self._l1_ns
+
+        injector = self.injector
+        if injector is not None and injector.has_poison:
+            if now >= injector.next_poison_ns:
+                for poisoned_line in injector.activate_poison(now):
+                    self._poison_line(poisoned_line)
+            if injector.poisoned and line in injector.poisoned:
+                # Poisoned-line consumption: scrub and re-fetch a clean copy
+                # from the device before the access can be served.
+                injector.clear_poison(line)
+                lat += injector.poison_penalty_ns
         l1 = host.l1_for(core)
         entry = l1.lookup(line)
         if entry is not None:
@@ -463,45 +508,71 @@ class MultiHostSystem:
             current = engine.global_table.current_host(page)
 
         if current != NO_HOST and current != host_id:
+            # Under fault injection the migrate-back/revocation sequence is
+            # transactional: snapshot first, roll back on a failed transfer
+            # and degrade to a direct device access.
+            txn = engine.begin_txn(current, page) if self._faults_on else None
             migrated, revoked = engine.inter_host_access(
                 current, page, line_in_page
             )
+            aborted = False
             if revoked:
-                self._revocation_transfer(current, page, revoked, now)
-            if migrated:
+                try:
+                    self._revocation_transfer(current, page, revoked, now)
+                except LinkTransferError as exc:
+                    self._abort_migration(txn, exc)
+                    aborted = True
+            if migrated and not aborted:
                 # Cases 2/5/6: 4-hop to the owner's local memory; the line
                 # migrates back to CXL and the requester caches it normally.
                 owner_host = self.hosts[current]
-                lat += self.links[host_id].round_trip(
-                    now, CONTROL_BYTES, units.CACHE_LINE
-                )
-                lat += self._ddir_ns
-                lat += self.cxl_mem.read_line(addr, now)  # verify I' bit
-                lat += self.links[current].round_trip(
-                    now, CONTROL_BYTES, units.CACHE_LINE
-                )
-                lat += self._ldir_ns
-                if owner_host.holds_line(line):  # ME cached (cases 5/6)
-                    lat += self._llc_ns
-                    if is_write:
-                        owner_host.invalidate_line(line)
+                try:
+                    if txn is not None:
+                        owner_rtt = self.links[current].try_round_trip(
+                            now, CONTROL_BYTES, units.CACHE_LINE
+                        )
                     else:
-                        owner_host.downgrade_line(line)
-                else:
-                    lat += owner_host.local_mem.read_line(addr, now)
-                self.cxl_mem.write_line(addr, now)  # async migrate-back
-                self._dir_update(host_id, line, is_write, None, now)
-                self._fill(host, l1, line, page, is_write, exclusive=True,
-                           now=now)
-                self.svc_counts[_SVC_INTER] += 1
-                return lat, _SVC_INTER
-            # Line not migrated: fall through to the plain CXL access.
+                        owner_rtt = self.links[current].round_trip(
+                            now, CONTROL_BYTES, units.CACHE_LINE
+                        )
+                except LinkTransferError as exc:
+                    self._abort_migration(txn, exc)
+                    aborted = True
+                if not aborted:
+                    lat += self.links[host_id].round_trip(
+                        now, CONTROL_BYTES, units.CACHE_LINE
+                    )
+                    lat += self._ddir_ns
+                    lat += self.cxl_mem.read_line(addr, now)  # verify I' bit
+                    lat += owner_rtt
+                    lat += self._ldir_ns
+                    if owner_host.holds_line(line):  # ME cached (cases 5/6)
+                        lat += self._llc_ns
+                        if is_write:
+                            owner_host.invalidate_line(line)
+                        else:
+                            owner_host.downgrade_line(line)
+                    else:
+                        lat += owner_host.local_mem.read_line(addr, now)
+                    self.cxl_mem.write_line(addr, now)  # async migrate-back
+                    self._dir_update(host_id, line, is_write, None, now)
+                    self._fill(host, l1, line, page, is_write, exclusive=True,
+                               now=now)
+                    self.svc_counts[_SVC_INTER] += 1
+                    return lat, _SVC_INTER
+            # Line not migrated (or the migration aborted): fall through to
+            # the plain CXL access.
 
         if current == NO_HOST:
-            dest = engine.record_cxl_access(page, host_id)
-            if dest is not None:
-                self.migrations += 1
-                self._track_engine_peaks(dest)
+            if self._faults_on and self.injector.link_degraded(host_id, now):
+                # Graceful degradation: no vote progress and no new partial
+                # migrations while this host's link runs degraded.
+                self.injector.counters.degraded_skips += 1
+            else:
+                dest = engine.record_cxl_access(page, host_id)
+                if dest is not None:
+                    self.migrations += 1
+                    self._track_engine_peaks(dest)
 
         extra, svc, exclusive = self._cxl_access(host_id, line, addr,
                                                  is_write, now)
@@ -513,11 +584,18 @@ class MultiHostSystem:
     def _revocation_transfer(
         self, owner: int, page: int, lines: List[int], now: float
     ) -> None:
-        """Bulk write-back of a revoked page's migrated lines (step 6)."""
-        self.demotions += 1
+        """Bulk write-back of a revoked page's migrated lines (step 6).
+
+        The link transfer runs first so a failed/timed-out transfer (fault
+        injection) raises before any bookkeeping mutates; the caller rolls
+        the engine back and nothing here needs undoing.
+        """
         size = len(lines) * units.CACHE_LINE
         if size:
-            self.links[owner].transfer(TO_DEVICE, now, size)
+            if self._faults_on:
+                self._bulk_transfer(owner, TO_DEVICE, size, now)  # may raise
+            else:
+                self.links[owner].transfer(TO_DEVICE, now, size)
             self.transfer_ns += units.transfer_ns(
                 size, self.config.cxl_link.bandwidth_gbs
             )
@@ -526,11 +604,53 @@ class MultiHostSystem:
                 self.cxl_mem.write_line(
                     base + line_in_page * units.CACHE_LINE, now
                 )
+        self.demotions += 1
         # The revoked page's lines must leave the owner's caches too.
         base_line = page << _LINE_TO_PAGE
         owner_host = self.hosts[owner]
         for line_in_page in lines:
             owner_host.invalidate_line(base_line + line_in_page)
+
+    def _bulk_transfer(
+        self, host: int, direction: int, size: int, now: float
+    ) -> float:
+        """Chunked migration transfer that aborts on error or timeout.
+
+        Splitting the payload into sub-page chunks lets a degraded link time
+        out partway instead of committing the whole serialization up front.
+        Raises :class:`LinkTransferError` when the retry budget or the
+        migration timeout runs out.
+        """
+        link = self.links[host]
+        timeout_ns = self.injector.migration_timeout_ns
+        chunk = 16 * units.CACHE_LINE
+        elapsed = 0.0
+        offset = 0
+        while offset < size:
+            step = min(chunk, size - offset)
+            elapsed += link.try_transfer(direction, now + elapsed, step)
+            offset += step
+            if elapsed > timeout_ns:
+                raise LinkTransferError(
+                    host, direction, size, reason="migration timeout"
+                )
+        return elapsed
+
+    def _abort_migration(self, txn, exc: LinkTransferError) -> None:
+        """Count an aborted migration and restore the snapshot, if any."""
+        counters = self.injector.counters
+        counters.migration_aborts += 1
+        if exc.reason == "migration timeout":
+            counters.migration_timeouts += 1
+        if txn is not None:
+            self.engine.rollback(txn)
+            counters.rollbacks += 1
+
+    def _poison_line(self, line: int) -> None:
+        """Device-side poison: scrub the line out of every cache + the dir."""
+        for host in self.hosts:
+            host.invalidate_line(line)
+        self.device_dir.remove(line)
 
     def _track_engine_peaks(self, host: int) -> None:
         table = self.engine.local_tables[host]
@@ -638,15 +758,21 @@ class MultiHostSystem:
         for page, src in plan.demotions:
             if self.page_map.get(page) != src:
                 continue
+            dirty = page in self.dirty_pages
+            # Transfer before commit: a failed transfer (fault injection)
+            # aborts the demotion with the page still resident and mapped.
+            if dirty or not free_clean:
+                try:
+                    self._page_transfer(src, page, to_local=False, now=now)
+                except LinkTransferError as exc:
+                    self._abort_migration(None, exc)
+                    continue
             del self.page_map[page]
             pfn = self._page_frames.pop(page, None)
             if pfn is not None:
                 self.frames[src].free(pfn)
             self.demotions += 1
-            dirty = page in self.dirty_pages
             self.dirty_pages.discard(page)
-            if dirty or not free_clean:
-                self._page_transfer(src, page, to_local=False, now=now)
             pages_by_initiator[src] = pages_by_initiator.get(src, 0) + 1
             self._flush_page(page)
             moved_pages.append(page)
@@ -669,14 +795,24 @@ class MultiHostSystem:
         for page, dest in capped:
             if page in self.page_map:
                 continue
+            if self._faults_on and self.injector.link_degraded(dest, now):
+                # Graceful degradation: do not start promotions onto a host
+                # whose link is running degraded.
+                self.injector.counters.degraded_skips += 1
+                continue
             pfn = self.frames[dest].alloc()
             if pfn is None:
+                continue
+            try:
+                self._page_transfer(dest, page, to_local=True, now=now)
+            except LinkTransferError as exc:
+                self.frames[dest].free(pfn)
+                self._abort_migration(None, exc)
                 continue
             self.page_map[page] = dest
             self._page_frames[page] = pfn
             self.migrations += 1
             pages_by_initiator[dest] = pages_by_initiator.get(dest, 0) + 1
-            self._page_transfer(dest, page, to_local=True, now=now)
             self._flush_page(page)
             moved_pages.append(page)
             if self.ledger is not None:
@@ -700,7 +836,10 @@ class MultiHostSystem:
         """Occupy link + DRAM bandwidth for a whole-page migration."""
         addr = page << units.PAGE_SHIFT
         direction = TO_HOST if to_local else TO_DEVICE
-        self.links[host].transfer(direction, now, units.PAGE_SIZE)
+        if self._faults_on:
+            self._bulk_transfer(host, direction, units.PAGE_SIZE, now)
+        else:
+            self.links[host].transfer(direction, now, units.PAGE_SIZE)
         self.transfer_ns += units.transfer_ns(
             units.PAGE_SIZE, self.config.cxl_link.bandwidth_gbs
         )
@@ -722,6 +861,34 @@ class MultiHostSystem:
     # ------------------------------------------------------------------
     # End-of-run accounting
     # ------------------------------------------------------------------
+    def fault_stats(self) -> Dict[str, float]:
+        """Nonzero fault/recovery counters (empty when nothing ever fired).
+
+        Only counters that actually fired are reported, so a configured but
+        idle fault plan leaves the result stats byte-identical to a run with
+        faults disabled.
+        """
+        out: Dict[str, float] = {}
+        if self.injector is not None:
+            c = self.injector.counters
+            for key, value in (
+                ("fault_injected_errors", c.injected_errors),
+                ("fault_link_retries", c.link_retries),
+                ("fault_link_giveups", c.link_giveups),
+                ("fault_migration_aborts", c.migration_aborts),
+                ("fault_migration_timeouts", c.migration_timeouts),
+                ("fault_rollbacks", c.rollbacks),
+                ("fault_degraded_skips", c.degraded_skips),
+                ("fault_host_stall_ns", c.host_stall_ns),
+                ("fault_poison_recoveries", c.poison_recoveries),
+                ("fault_recovery_ns", c.recovery_ns),
+            ):
+                if value:
+                    out[key] = float(value)
+        if self.watchdog is not None and self.watchdog.violations:
+            out["watchdog_violations"] = float(len(self.watchdog.violations))
+        return out
+
     def finalize(self) -> None:
         if self.ledger is not None:
             self.ledger.finalize()

@@ -50,6 +50,13 @@ class StatRegistry:
     def clear(self) -> None:
         self._values.clear()
 
+    def clear_prefix(self, prefix: str) -> int:
+        """Drop every statistic under ``prefix``; returns how many."""
+        doomed = [key for key in self._values if key.startswith(prefix)]
+        for key in doomed:
+            del self._values[key]
+        return len(doomed)
+
     def __contains__(self, key: str) -> bool:
         return key in self._values
 
@@ -75,6 +82,10 @@ class ScopedStats:
 
     def scoped(self, prefix: str) -> "ScopedStats":
         return ScopedStats(self._registry, self._prefix + prefix)
+
+    def clear(self) -> int:
+        """Drop every statistic recorded under this scope's prefix."""
+        return self._registry.clear_prefix(self._prefix)
 
 
 @dataclass
