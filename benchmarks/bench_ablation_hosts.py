@@ -6,8 +6,8 @@ outperforms prior designs."  This bench runs 2/4/8-host systems and checks
 PIPM keeps beating Native and the frequency baseline at every host count.
 """
 
-from common import bench_scale, write_output
-from repro import SystemConfig, generate, make_scheme, simulate
+from common import run_cached, write_output
+from repro import SystemConfig
 from repro.analysis.report import format_table
 
 HOST_COUNTS = [2, 4, 8]
@@ -20,10 +20,12 @@ def _sweep():
     for hosts in HOST_COUNTS:
         cfg = SystemConfig.scaled(num_hosts=hosts)
         for workload in WORKLOADS:
-            trace = generate(workload, num_hosts=hosts, scale=bench_scale())
-            native = simulate(trace, make_scheme("native"), cfg)
-            memtis = simulate(trace, make_scheme("memtis"), cfg)
-            pipm = simulate(trace, make_scheme("pipm"), cfg)
+            # The host count is part of the config, which is part of the
+            # cache key — no per-host-count tag needed (or possible to
+            # forget).
+            native = run_cached(workload, "native", config=cfg)
+            memtis = run_cached(workload, "memtis", config=cfg)
+            pipm = run_cached(workload, "pipm", config=cfg)
             rows.append((
                 hosts, workload,
                 f"{memtis.speedup_over(native):.2f}x",

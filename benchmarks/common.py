@@ -1,42 +1,53 @@
 """Shared infrastructure for the figure/table benchmarks.
 
 Every bench regenerates one table or figure of the paper's evaluation
-(see DESIGN.md's experiment index).  Simulation results are memoized in a
-JSON cache keyed by (workload, scheme, scale, config tag) so figures that
-share runs (Figs. 10-13 all need the Fig. 10 sweep) don't recompute them;
-delete ``benchmarks/.bench_cache.json`` to force fresh runs.
+(see DESIGN.md's experiment index).  Simulation results are memoized in
+the content-addressed cache under ``benchmarks/.cache/`` shared with
+``python -m repro sweep``: each entry is one atomically-written file
+keyed by a hash of the *complete* experiment spec (workload, scheme +
+scheme kwargs, scale, full serialized SystemConfig including faults, and
+system kwargs), so config ablations can never read a stale base-config
+result and any number of bench processes can run concurrently.  Warm the
+cache in parallel with ``python -m repro sweep --figures`` and the
+benches become pure cache reads; invalidate with ``python -m repro sweep
+--invalidate`` (or delete ``benchmarks/.cache/``).
 
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — ``tiny`` / ``small`` / ``default`` / ``large``
   (default ``small``): trace size per run.
 * ``REPRO_BENCH_WORKLOADS`` — comma-separated subset override.
+* ``REPRO_CACHE_DIR`` — cache root override (default
+  ``benchmarks/.cache``).
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro import SystemConfig, WorkloadScale, generate, simulate
-from repro.policies import make_scheme
+from repro import SystemConfig, WorkloadScale
 from repro.sim.results import SimulationResult
+from repro.sweep import (
+    ALL_SCHEMES,
+    SENSITIVITY_WORKLOADS,
+    ExperimentSpec,
+    ResultStore,
+    TraceStore,
+    content_key,
+    run_spec,
+)
 
 BENCH_DIR = Path(__file__).parent
 RESULTS_DIR = BENCH_DIR / "results"
-CACHE_PATH = BENCH_DIR / ".bench_cache.json"
+CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", BENCH_DIR / ".cache"))
 
-#: The paper's Fig. 10 scheme order (Native first: the normalization base).
-ALL_SCHEMES = [
-    "native", "nomad", "memtis", "hemem", "os-skew", "hw-static", "pipm",
-    "local-only",
+__all__ = [
+    "ALL_SCHEMES", "SENSITIVITY_WORKLOADS", "BENCH_DIR", "RESULTS_DIR",
+    "CACHE_DIR", "ResultCache", "bench_scale", "bench_scale_name",
+    "bench_workloads", "run_cached", "write_output",
 ]
-
-#: Subset used by the sensitivity figures (Figs. 14-17) to bound runtime.
-SENSITIVITY_WORKLOADS = ["pr", "bfs", "xsbench", "streamcluster", "ycsb",
-                         "tpcc"]
 
 _SCALES = {
     "tiny": WorkloadScale.tiny,
@@ -69,83 +80,49 @@ def bench_workloads() -> List[str]:
 # ----------------------------------------------------------------------
 # Result cache
 # ----------------------------------------------------------------------
-_RESULT_FIELDS = (
-    "workload", "scheme", "num_hosts", "exec_time_ns", "host_time_ns",
-    "instructions", "accesses", "mgmt_ns", "transfer_ns", "migrations",
-    "demotions", "footprint_bytes",
-)
-
-
 def _to_record(result: SimulationResult) -> Dict:
-    record = {field: getattr(result, field) for field in _RESULT_FIELDS}
-    record["service_counts"] = {
-        str(k): v for k, v in result.service_counts.items()
-    }
-    record["stall_ns_by_service"] = {
-        str(k): v for k, v in result.stall_ns_by_service.items()
-    }
-    record["peak_local_pages"] = {
-        str(k): v for k, v in result.peak_local_pages.items()
-    }
-    record["peak_local_lines"] = {
-        str(k): v for k, v in result.peak_local_lines.items()
-    }
-    record["stats"] = result.stats
-    return record
+    """Kept for callers/tests; delegates to the canonical serializer."""
+    return result.to_record()
 
 
 def _from_record(record: Dict) -> SimulationResult:
-    kwargs = {field: record[field] for field in _RESULT_FIELDS}
-    kwargs["service_counts"] = {
-        int(k): v for k, v in record["service_counts"].items()
-    }
-    kwargs["stall_ns_by_service"] = {
-        int(k): v for k, v in record["stall_ns_by_service"].items()
-    }
-    kwargs["peak_local_pages"] = {
-        int(k): v for k, v in record["peak_local_pages"].items()
-    }
-    kwargs["peak_local_lines"] = {
-        int(k): v for k, v in record["peak_local_lines"].items()
-    }
-    kwargs["stats"] = record["stats"]
-    return SimulationResult(**kwargs)
+    return SimulationResult.from_record(record)
 
 
 class ResultCache:
-    """Disk-backed memo of simulation results."""
+    """Disk-backed memo of simulation results under arbitrary string keys.
 
-    def __init__(self, path: Path = CACHE_PATH) -> None:
+    Legacy interface kept for ad-hoc memoization; entries now live as
+    one atomically-replaced file per key (hashed filename) instead of a
+    single JSON blob, so concurrent writers can no longer lose each
+    other's entries or corrupt the cache, and nothing is snapshotted at
+    import time.
+    """
+
+    def __init__(self, path: Path = CACHE_DIR) -> None:
+        # ``path`` historically named a .json blob; treat a file path as
+        # its parent directory so stale call sites keep working.
+        path = Path(path)
+        if path.suffix == ".json":
+            path = path.parent / ".cache"
         self.path = path
-        self._data: Dict[str, Dict] = {}
-        if path.exists():
-            try:
-                self._data = json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError):
-                self._data = {}
+        self._store = ResultStore(path)
+
+    @staticmethod
+    def _file_key(key: str) -> str:
+        return content_key({"legacy_key": key})
 
     def get(self, key: str) -> Optional[SimulationResult]:
-        record = self._data.get(key)
-        return _from_record(record) if record is not None else None
+        entry = self._store.get_record(self._file_key(key))
+        if entry is None or "result" not in entry:
+            return None
+        return SimulationResult.from_record(entry["result"])
 
     def put(self, key: str, result: SimulationResult) -> None:
-        self._data[key] = _to_record(result)
-        self.path.write_text(json.dumps(self._data))
-
-
-_CACHE = ResultCache()
-_TRACE_CACHE: Dict[str, object] = {}
-
-
-def _trace(workload: str, config: SystemConfig, scale: WorkloadScale):
-    key = f"{workload}|{scale.accesses_per_host}|{scale.footprint_bytes}"
-    key += f"|{config.num_hosts}"
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = generate(
-            workload, num_hosts=config.num_hosts, scale=scale,
-            cores_per_host=config.cores_per_host,
+        self._store.put_record(
+            self._file_key(key),
+            {"legacy_key": key, "result": result.to_record()},
         )
-    return _TRACE_CACHE[key]
 
 
 def run_cached(
@@ -156,23 +133,32 @@ def run_cached(
     scheme_kwargs: Optional[Dict] = None,
     **system_kwargs,
 ) -> SimulationResult:
-    """Simulate (or fetch) one (workload, scheme, config-tag) result.
+    """Simulate (or fetch) one fully-specified experiment.
 
-    ``tag`` must uniquely name any config/scheme deviation from the scaled
-    defaults; results are memoized across bench modules under that key.
+    The cache key is a content hash of the complete spec — workload,
+    scheme and its kwargs, scale, the entire ``config`` (including any
+    fault plan), and ``system_kwargs`` — so two calls share a result
+    **iff** every simulation input matches.  ``tag`` is a display label
+    only; it no longer affects caching, and forgetting it can no longer
+    alias an ablation onto the base configuration's result.
+
+    Traces are shared through the on-disk trace store, so concurrent
+    bench processes (and ``python -m repro sweep`` workers) generate
+    each trace once.
     """
-    if config is None:
-        config = SystemConfig.scaled()
-    scale = bench_scale()
-    key = f"{workload}|{scheme}|{bench_scale_name()}|{tag}"
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    trace = _trace(workload, config, scale)
-    instance = make_scheme(scheme, **(scheme_kwargs or {}))
-    result = simulate(trace, instance, config, **system_kwargs)
-    _CACHE.put(key, result)
-    return result
+    del tag  # labels never influence identity
+    spec = ExperimentSpec.build(
+        workload=workload,
+        scheme=scheme,
+        config=config,
+        scale=bench_scale(),
+        scheme_kwargs=scheme_kwargs,
+        system_kwargs=system_kwargs,
+    )
+    return run_spec(spec, CACHE_DIR, trace_store=_TRACES).result
+
+
+_TRACES = TraceStore(CACHE_DIR)
 
 
 def write_output(name: str, text: str) -> Path:

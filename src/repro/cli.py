@@ -4,6 +4,8 @@ Commands
 --------
 ``run``       simulate one (workload, scheme) pair and print the summary
 ``compare``   run several schemes on one workload, normalized to Native
+``sweep``     fan a (workload x scheme x variant) matrix across a process
+              pool into the shared result cache
 ``check``     model-check the coherence protocols (the Murphi step)
 ``workloads`` print the Table 1 inventory
 ``config``    print the Table 2 system configuration
@@ -13,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import List, Optional
 
@@ -58,6 +61,54 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--hosts", type=int, default=4)
     compare.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault-injection spec (see 'run --faults')")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (workload x scheme x variant) matrix in parallel",
+        description=(
+            "Fan the evaluation matrix across a process pool into the "
+            "content-addressed result cache; a second invocation over the "
+            "same matrix is pure cache hits, and the figure benches "
+            "(pytest benchmarks/) read the same cache."
+        ),
+    )
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="pool size; 0 = one per CPU; 1 = serial")
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset "
+                            "(default: every Table 1 workload, or "
+                            "$REPRO_BENCH_WORKLOADS)")
+    sweep.add_argument("--schemes", default=",".join(DEFAULT_SCHEMES))
+    sweep.add_argument(
+        "--scale", default=None, choices=_SCALES,
+        help="trace scale (default: $REPRO_BENCH_SCALE or 'small')",
+    )
+    sweep.add_argument(
+        "--variants", default="base",
+        help="comma-separated config variants (see --list-variants)",
+    )
+    sweep.add_argument(
+        "--figures", action="store_true",
+        help="the full figure matrix: every variant the fig/table "
+             "benches consume",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or benchmarks/.cache)",
+    )
+    sweep.add_argument("--list", action="store_true", dest="list_specs",
+                       help="print the expanded specs and exit")
+    sweep.add_argument("--list-variants", action="store_true",
+                       help="print the known variants and exit")
+    sweep.add_argument(
+        "--invalidate", action="store_true",
+        help="delete every cached result and trace, then exit",
+    )
+    sweep.add_argument(
+        "--require-all-hits", action="store_true",
+        help="exit non-zero unless every spec was a cache hit "
+             "(CI regression guard)",
+    )
 
     check = sub.add_parser("check", help="model-check the protocols")
     check.add_argument("--hosts", type=int, default=3)
@@ -129,6 +180,91 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .sweep import (
+        ResultStore,
+        SweepRunner,
+        TraceStore,
+        VARIANTS,
+        build_matrix,
+    )
+
+    if args.list_variants:
+        for name in VARIANTS:
+            print(name)
+        return 0
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or (
+        "benchmarks/.cache"
+    )
+    if args.invalidate:
+        results = ResultStore(cache_dir).clear()
+        traces = TraceStore(cache_dir).clear()
+        print(f"invalidated {results} results, {traces} traces "
+              f"under {cache_dir}")
+        return 0
+    scale_name = args.scale or os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale_name not in _SCALES:
+        print(f"error: unknown scale {scale_name!r}", file=sys.stderr)
+        return 2
+    scale = getattr(WorkloadScale, scale_name)()
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    elif os.environ.get("REPRO_BENCH_WORKLOADS"):
+        workloads = [
+            w.strip()
+            for w in os.environ["REPRO_BENCH_WORKLOADS"].split(",")
+            if w.strip()
+        ]
+    else:
+        workloads = list(workload_names())
+    unknown = sorted(set(workloads) - set(workload_names()))
+    if unknown:
+        print(f"error: unknown workloads {unknown}", file=sys.stderr)
+        return 2
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    variants = (
+        list(VARIANTS)
+        if args.figures
+        else [v.strip() for v in args.variants.split(",") if v.strip()]
+    )
+    specs = build_matrix(workloads, schemes, scale=scale, variants=variants)
+    if args.list_specs:
+        for spec in specs:
+            print(f"{spec.key()[:16]}  {spec.label()}")
+        print(f"{len(specs)} specs")
+        return 0
+    workers = args.workers if args.workers != 0 else (os.cpu_count() or 1)
+    print(
+        f"sweep: {len(specs)} specs "
+        f"({len(workloads)} workloads x {len(schemes)} schemes, "
+        f"variants: {', '.join(variants)}; scale {scale_name}) "
+        f"across {workers} worker{'s' if workers != 1 else ''} "
+        f"-> {cache_dir}"
+    )
+    summary = SweepRunner(specs, cache_dir, workers=workers).run(
+        progress=print
+    )
+    hit_pct = f"{summary.hit_rate:.0%}"
+    print(
+        f"done: {summary.runs} runs, {summary.hits} cache hits ({hit_pct}), "
+        f"{summary.misses} simulated; wall {summary.wall_s:.2f}s, "
+        f"work {summary.work_s:.2f}s"
+        + (
+            f" ({summary.work_s / summary.wall_s:.2f}x parallel efficiency)"
+            if summary.wall_s > 0
+            else ""
+        )
+    )
+    if args.require_all_hits and summary.misses:
+        print(
+            f"error: --require-all-hits, but {summary.misses} specs "
+            f"missed the cache",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_check(args) -> int:
     failures = 0
     models = [BaseCxlDsmModel(args.hosts)]
@@ -166,6 +302,7 @@ def _cmd_config(_args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "check": _cmd_check,
     "workloads": _cmd_workloads,
     "config": _cmd_config,

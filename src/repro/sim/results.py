@@ -56,6 +56,35 @@ class SimulationResult:
     peak_local_lines: Dict[int, int] = field(default_factory=dict)
     stats: Dict[str, float] = field(default_factory=dict)
 
+    # -- serialization ----------------------------------------------------
+    #: Scalar fields serialized verbatim by :meth:`to_record`.
+    _SCALAR_FIELDS = (
+        "workload", "scheme", "num_hosts", "exec_time_ns", "host_time_ns",
+        "instructions", "accesses", "mgmt_ns", "transfer_ns", "migrations",
+        "demotions", "footprint_bytes",
+    )
+    #: ``Dict[int, number]`` fields whose keys JSON stringifies.
+    _INT_KEY_FIELDS = (
+        "service_counts", "stall_ns_by_service", "peak_local_pages",
+        "peak_local_lines",
+    )
+
+    def to_record(self) -> Dict:
+        """A JSON-safe dict that :meth:`from_record` restores bit-for-bit."""
+        record = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        for name in self._INT_KEY_FIELDS:
+            record[name] = {str(k): v for k, v in getattr(self, name).items()}
+        record["stats"] = dict(self.stats)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "SimulationResult":
+        kwargs = {name: record[name] for name in cls._SCALAR_FIELDS}
+        for name in cls._INT_KEY_FIELDS:
+            kwargs[name] = {int(k): v for k, v in record[name].items()}
+        kwargs["stats"] = dict(record["stats"])
+        return cls(**kwargs)
+
     # -- headline metrics ------------------------------------------------
     @property
     def ipc(self) -> float:

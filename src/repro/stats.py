@@ -9,26 +9,34 @@ indirection beyond a dict lookup.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Set, Union
 
 
 class StatRegistry:
     """A hierarchical bag of numeric statistics.
 
     Keys are dotted paths (``"host0.llc.misses"``).  Values are ints or
-    floats.  ``add`` accumulates; ``put`` overwrites.
+    floats.  ``add`` accumulates (counter semantics); ``put`` overwrites
+    (gauge semantics).  The registry remembers which keys were last
+    written as gauges so :meth:`merge` can aggregate per-worker snapshots
+    without summing values that are not additive (hit rates, occupancies,
+    configuration echoes like ``freq_ghz``).
     """
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = defaultdict(float)
+        self._gauges: Set[str] = set()
 
     def add(self, key: str, amount: float = 1.0) -> None:
         self._values[key] += amount
+        self._gauges.discard(key)
 
     def put(self, key: str, value: float) -> None:
         self._values[key] = value
+        self._gauges.add(key)
 
     def get(self, key: str, default: float = 0.0) -> float:
         return self._values.get(key, default)
@@ -40,21 +48,53 @@ class StatRegistry:
         """A plain-dict copy of every recorded statistic."""
         return dict(self._values)
 
-    def merge(self, other: Mapping[str, float]) -> None:
-        for key, value in other.items():
-            self._values[key] += value
+    def gauge_keys(self) -> Set[str]:
+        """The keys last written with ``put`` (non-additive on merge)."""
+        return set(self._gauges)
+
+    def is_gauge(self, key: str) -> bool:
+        return key in self._gauges
+
+    def merge(
+        self,
+        other: Union["StatRegistry", Mapping[str, float]],
+        gauges: Iterable[str] = (),
+    ) -> None:
+        """Fold another registry (or snapshot) into this one.
+
+        Counter keys accumulate; gauge keys overwrite — merging N worker
+        snapshots must not multiply a hit rate or a ``put`` configuration
+        echo by N.  When ``other`` is a :class:`StatRegistry` its own
+        gauge set is honoured automatically; for a plain mapping, pass the
+        gauge keys explicitly (e.g. the ``gauge_keys()`` of the registry
+        that produced the snapshot).
+        """
+        if isinstance(other, StatRegistry):
+            gauge_set = other.gauge_keys() | set(gauges)
+            items = other.snapshot().items()
+        else:
+            gauge_set = set(gauges)
+            items = other.items()
+        for key, value in items:
+            if key in gauge_set:
+                self._values[key] = value
+                self._gauges.add(key)
+            else:
+                self._values[key] += value
 
     def keys(self) -> Iterable[str]:
         return self._values.keys()
 
     def clear(self) -> None:
         self._values.clear()
+        self._gauges.clear()
 
     def clear_prefix(self, prefix: str) -> int:
         """Drop every statistic under ``prefix``; returns how many."""
         doomed = [key for key in self._values if key.startswith(prefix)]
         for key in doomed:
             del self._values[key]
+            self._gauges.discard(key)
         return len(doomed)
 
     def __contains__(self, key: str) -> bool:
@@ -97,6 +137,7 @@ class Histogram:
     count: int = 0
     total: float = 0.0
     maximum: float = 0.0
+    minimum: float = math.inf
 
     def record(self, value: float) -> None:
         if value < 0:
@@ -107,23 +148,33 @@ class Histogram:
         self.total += value
         if value > self.maximum:
             self.maximum = value
+        if value < self.minimum:
+            self.minimum = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile (bucket upper edge)."""
+        """Approximate percentile (bucket upper edge).
+
+        ``percentile(0.0)`` is the recorded minimum (not the first
+        bucket's upper edge) and ``percentile(1.0)`` never exceeds the
+        recorded maximum, so the approximation brackets the true
+        distribution at both ends.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.count:
             return 0.0
+        if fraction == 0.0:
+            return self.minimum
         target = fraction * self.count
         seen = 0
         for bucket in sorted(self.buckets):
             seen += self.buckets[bucket]
             if seen >= target:
-                return (bucket + 1) * self.bucket_width
+                return min((bucket + 1) * self.bucket_width, self.maximum)
         return self.maximum
 
 

@@ -1,0 +1,225 @@
+"""The evaluation matrix: every (workload x scheme x config-variant) run
+the figure benches consume, expressed as :class:`ExperimentSpec` lists.
+
+Each variant mirrors one figure family's parameterization exactly — same
+config construction, same ``scheme_kwargs``, same ``system_kwargs`` — so
+specs built here hash to the same cache keys the benches'
+``run_cached`` produces.  ``python -m repro sweep --figures`` therefore
+pre-computes, in parallel, precisely the runs that ``pytest benchmarks/``
+will then read back as cache hits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..config import FaultConfig, SystemConfig
+from ..workloads.trace import WorkloadScale
+from .spec import ExperimentSpec
+
+#: The paper's Fig. 10 scheme order (Native first: the normalization base).
+ALL_SCHEMES = [
+    "native", "nomad", "memtis", "hemem", "os-skew", "hw-static", "pipm",
+    "local-only",
+]
+
+#: Subset used by the sensitivity figures (Figs. 14-17) to bound runtime.
+SENSITIVITY_WORKLOADS = [
+    "pr", "bfs", "xsbench", "streamcluster", "ycsb", "tpcc",
+]
+
+#: Fig. 14 / Fig. 15 sweep points.
+LINK_LATENCIES_NS = [25.0, 50.0, 100.0]
+LINK_BANDWIDTHS_GBS = [2.5, 5.0, 10.0]
+#: Threshold ablation sweep points.
+THRESHOLDS = [2, 4, 8, 15]
+#: Resilience presets (bench_resilience.py) with its deterministic seed.
+FAULT_PRESETS = ["none", "flaky", "degraded"]
+FAULT_OVERRIDES = "seed=7,watchdog-period-ns=200000"
+
+#: Variant name -> builder; ``base`` must stay first (baseline runs).
+VARIANTS = (
+    "base",
+    "link-latency",
+    "link-bandwidth",
+    "threshold",
+    "local-remap",
+    "global-remap",
+    "intervals",
+    "faults",
+)
+
+
+def _base(workloads, schemes, scale) -> List[ExperimentSpec]:
+    config = SystemConfig.scaled()
+    return [
+        ExperimentSpec.build(w, s, config=config, scale=scale)
+        for w in workloads
+        for s in schemes
+    ]
+
+
+def _link_latency(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    specs = []
+    for latency in LINK_LATENCIES_NS:
+        config = SystemConfig.scaled().replace_nested(
+            "cxl_link", latency_ns=latency
+        )
+        for w in workloads:
+            for s in ("native", "pipm"):
+                specs.append(ExperimentSpec.build(w, s, config=config,
+                                                  scale=scale))
+    return specs
+
+
+def _link_bandwidth(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    specs = []
+    for gbs in LINK_BANDWIDTHS_GBS:
+        config = SystemConfig.scaled().replace_nested(
+            "cxl_link", bandwidth_gbs=gbs
+        )
+        for w in workloads:
+            for s in ("native", "pipm"):
+                specs.append(ExperimentSpec.build(w, s, config=config,
+                                                  scale=scale))
+    return specs
+
+
+def _threshold(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    specs = [
+        ExperimentSpec.build(w, "native", config=SystemConfig.scaled(),
+                             scale=scale)
+        for w in workloads
+    ]
+    for threshold in THRESHOLDS:
+        base = SystemConfig.scaled()
+        config = base.replace(pipm=dataclasses.replace(
+            base.pipm, migration_threshold=threshold
+        ))
+        specs += [
+            ExperimentSpec.build(w, "pipm", config=config, scale=scale)
+            for w in workloads
+        ]
+    return specs
+
+
+def _remap(which: str, workloads, scale) -> List[ExperimentSpec]:
+    base = SystemConfig.scaled()
+    size_field = f"{which}_remap_cache_bytes"
+    base_bytes = getattr(base.pipm, size_field)
+    floor = 1024 if which == "local" else 128
+    sizes = sorted({
+        max(floor, base_bytes // 16),
+        max(floor if which == "global" else 2048, base_bytes // 4),
+        base_bytes,
+        base_bytes * 4,
+    })
+    specs = [
+        ExperimentSpec.build(
+            w, "pipm", config=base, scale=scale,
+            system_kwargs={f"infinite_{which}_remap_cache": True},
+        )
+        for w in workloads
+    ]
+    for size in sizes:
+        config = base.replace_nested("pipm", **{size_field: size})
+        specs += [
+            ExperimentSpec.build(w, "pipm", config=config, scale=scale)
+            for w in workloads
+        ]
+    return specs
+
+
+def _local_remap(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    return _remap("local", workloads, scale)
+
+
+def _global_remap(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    return _remap("global", workloads, scale)
+
+
+def _intervals(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    base_interval = SystemConfig.scaled().kernel.interval_ns
+    specs = []
+    for interval in (base_interval * 10, base_interval, base_interval / 10):
+        config = SystemConfig.scaled().replace_nested(
+            "kernel", interval_ns=interval
+        )
+        for w in workloads:
+            for s in ("nomad", "memtis"):
+                specs.append(ExperimentSpec.build(
+                    w, s, config=config, scale=scale,
+                    scheme_kwargs={"interval_ns": interval},
+                ))
+    return specs
+
+
+def _faults(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    specs = []
+    for preset in FAULT_PRESETS:
+        spec_str = preset if preset == "none" else f"{preset}:{FAULT_OVERRIDES}"
+        config = dataclasses.replace(
+            SystemConfig.scaled(), faults=FaultConfig.parse(spec_str)
+        )
+        for w in workloads:
+            for s in ("native", "pipm"):
+                specs.append(ExperimentSpec.build(w, s, config=config,
+                                                  scale=scale))
+    return specs
+
+
+_BUILDERS = {
+    "base": _base,
+    "link-latency": _link_latency,
+    "link-bandwidth": _link_bandwidth,
+    "threshold": _threshold,
+    "local-remap": _local_remap,
+    "global-remap": _global_remap,
+    "intervals": _intervals,
+    "faults": _faults,
+}
+
+#: Variants that sweep a sensitivity knob (restricted workload subset).
+_SENSITIVITY_VARIANTS = frozenset(
+    v for v in VARIANTS if v not in ("base", "intervals")
+)
+
+
+def build_matrix(
+    workloads: Sequence[str],
+    schemes: Sequence[str] = tuple(ALL_SCHEMES),
+    scale: Optional[WorkloadScale] = None,
+    variants: Iterable[str] = ("base",),
+    sensitivity_workloads: Optional[Sequence[str]] = None,
+) -> List[ExperimentSpec]:
+    """Expand (workloads x schemes x variants) into deduplicated specs.
+
+    Sensitivity variants (link/threshold/remap/fault sweeps) run over
+    ``sensitivity_workloads`` — by default the intersection of
+    ``workloads`` with the figures' :data:`SENSITIVITY_WORKLOADS` subset,
+    falling back to ``workloads`` when the intersection is empty.
+    """
+    if scale is None:
+        scale = WorkloadScale.default()
+    if sensitivity_workloads is None:
+        sensitivity_workloads = [
+            w for w in workloads if w in SENSITIVITY_WORKLOADS
+        ] or list(workloads)
+    specs: Dict[str, ExperimentSpec] = {}
+    for variant in variants:
+        try:
+            builder = _BUILDERS[variant]
+        except KeyError:
+            raise ValueError(
+                f"unknown sweep variant {variant!r}; choose from "
+                f"{sorted(_BUILDERS)}"
+            ) from None
+        subset = (
+            sensitivity_workloads
+            if variant in _SENSITIVITY_VARIANTS
+            else workloads
+        )
+        for spec in builder(subset, schemes, scale):
+            specs.setdefault(spec.key(), spec)
+    return list(specs.values())

@@ -1,0 +1,282 @@
+"""Process-pool sweep runner.
+
+Executes a list of :class:`ExperimentSpec` in two phases:
+
+1. **Trace warm-up** — every *unique* trace key in the matrix is
+   generated (or loaded) exactly once, in parallel, into the shared
+   on-disk :class:`~repro.sweep.traces.TraceStore`.  Workers in phase 2
+   then load traces from disk instead of re-synthesizing them.
+2. **Simulation fan-out** — specs run across a
+   :class:`~concurrent.futures.ProcessPoolExecutor`; each worker checks
+   the content-addressed :class:`~repro.sweep.store.ResultStore` first
+   and publishes its result atomically, so concurrent workers (and
+   concurrent sweep invocations) never corrupt or clobber the cache.
+
+``workers=1`` runs everything in-process with no pool — the serial
+reference path.  Because specs are content-hashed and entries are
+serialized deterministically, the parallel path produces byte-identical
+cache files to the serial one.
+
+Per-run wall clock and cache-hit status are reported per spec, and
+worker-side statistics snapshots are folded into one registry with the
+counter/gauge-aware :meth:`~repro.stats.StatRegistry.merge` (summing a
+hit *rate* or a ``freq_ghz`` echo across workers would be nonsense).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..policies import make_scheme
+from ..sim.engine import simulate
+from ..sim.results import SimulationResult
+from ..stats import StatRegistry
+from .spec import ExperimentSpec
+from .store import ResultStore
+from .traces import TraceStore
+
+#: ``SimulationResult.stats`` keys with gauge (non-additive) semantics.
+_GAUGE_SUFFIXES = ("_rate", "_fraction")
+_GAUGE_KEYS = ("freq_ghz",)
+
+
+def stat_gauges(stats: Dict[str, float]) -> List[str]:
+    """The keys of ``stats`` that must not be summed when aggregating."""
+    return [
+        key for key in stats
+        if key.endswith(_GAUGE_SUFFIXES) or key in _GAUGE_KEYS
+    ]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """What one spec execution looked like (for the CLI's per-run lines)."""
+
+    key: str
+    label: str
+    workload: str
+    scheme: str
+    cache_hit: bool
+    elapsed_s: float
+    exec_time_ns: float
+
+
+@dataclass
+class RunOutcome:
+    """A result plus its provenance."""
+
+    result: SimulationResult
+    report: RunReport
+
+
+@dataclass
+class SweepSummary:
+    """Aggregate of one sweep invocation."""
+
+    reports: List[RunReport] = field(default_factory=list)
+    trace_reports: List[Tuple[str, bool, float]] = field(default_factory=list)
+    wall_s: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def runs(self) -> int:
+        return len(self.reports)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.reports if r.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return self.runs - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.runs if self.runs else 0.0
+
+    @property
+    def work_s(self) -> float:
+        """Summed per-run wall clock (the serial-equivalent time)."""
+        return sum(r.elapsed_s for r in self.reports) + sum(
+            t[2] for t in self.trace_reports
+        )
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    cache_dir: Union[str, Path],
+    trace_store: Optional[TraceStore] = None,
+) -> RunOutcome:
+    """Execute (or fetch) one spec against the shared caches."""
+    store = ResultStore(cache_dir)
+    started = perf_counter()
+    cached = store.get(spec)
+    if cached is not None:
+        return RunOutcome(
+            result=cached,
+            report=RunReport(
+                key=spec.key(), label=spec.label(),
+                workload=spec.workload, scheme=spec.scheme,
+                cache_hit=True, elapsed_s=perf_counter() - started,
+                exec_time_ns=cached.exec_time_ns,
+            ),
+        )
+    traces = trace_store if trace_store is not None else TraceStore(cache_dir)
+    trace = traces.get_or_generate(
+        spec.workload,
+        num_hosts=spec.config.num_hosts,
+        cores_per_host=spec.config.cores_per_host,
+        scale=spec.scale,
+    )
+    scheme = make_scheme(spec.scheme, **spec.scheme_kwargs)
+    result = simulate(trace, scheme, spec.config, **spec.system_kwargs)
+    elapsed = perf_counter() - started
+    store.put(spec, result)
+    return RunOutcome(
+        result=result,
+        report=RunReport(
+            key=spec.key(), label=spec.label(),
+            workload=spec.workload, scheme=spec.scheme,
+            cache_hit=False, elapsed_s=elapsed,
+            exec_time_ns=result.exec_time_ns,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool workers (top-level so they pickle under any start method).
+# ----------------------------------------------------------------------
+def _warm_trace_worker(
+    args: Tuple[str, int, int, object, str]
+) -> Tuple[str, bool, float]:
+    workload, num_hosts, cores_per_host, scale, cache_dir = args
+    started = perf_counter()
+    _trace, hit = TraceStore(cache_dir).warm(
+        workload, num_hosts, cores_per_host, scale
+    )
+    return workload, hit, perf_counter() - started
+
+
+def _run_spec_worker(
+    args: Tuple[ExperimentSpec, str]
+) -> Tuple[RunReport, Dict[str, float], List[str]]:
+    spec, cache_dir = args
+    outcome = run_spec(spec, cache_dir)
+    # Per-worker snapshot: counters accumulate across workers, gauges
+    # (rates, config echoes) must overwrite on merge.
+    registry = StatRegistry()
+    registry.add("sweep.runs")
+    registry.add("sweep.cache_hits", 1.0 if outcome.report.cache_hit else 0.0)
+    registry.add("sweep.sim_seconds", outcome.report.elapsed_s)
+    gauges = stat_gauges(outcome.result.stats)
+    registry.merge(outcome.result.stats, gauges=gauges)
+    return outcome.report, registry.snapshot(), sorted(registry.gauge_keys())
+
+
+class SweepRunner:
+    """Fan a spec matrix across a process pool (or run it serially)."""
+
+    def __init__(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cache_dir: Union[str, Path],
+        workers: int = 1,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU)")
+        self.specs = list(specs)
+        self.cache_dir = str(cache_dir)
+        self.workers = workers or (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------
+    def _unique_traces(self) -> List[Tuple[str, int, int, object, str]]:
+        """Trace tasks for specs that will actually simulate.
+
+        Specs whose result is already cached never touch their trace, so
+        an all-hits sweep (e.g. the CI smoke's second invocation) warms
+        nothing.
+        """
+        store = ResultStore(self.cache_dir)
+        seen = {}
+        for spec in self.specs:
+            if spec.key() in store:
+                continue
+            seen.setdefault(
+                spec.trace_key(),
+                (
+                    spec.workload,
+                    spec.config.num_hosts,
+                    spec.config.cores_per_host,
+                    spec.scale,
+                    self.cache_dir,
+                ),
+            )
+        return list(seen.values())
+
+    def run(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> SweepSummary:
+        say = progress or (lambda _line: None)
+        summary = SweepSummary()
+        registry = StatRegistry()
+        started = perf_counter()
+        if self.workers <= 1:
+            self._run_serial(summary, registry, say)
+        else:
+            self._run_parallel(summary, registry, say)
+        summary.wall_s = perf_counter() - started
+        summary.stats = registry.snapshot()
+        return summary
+
+    # ------------------------------------------------------------------
+    def _note(self, summary: SweepSummary, report: RunReport, say) -> None:
+        summary.reports.append(report)
+        state = "hit " if report.cache_hit else "run "
+        say(f"  [{state}] {report.label:<48} {report.elapsed_s:7.2f}s")
+
+    def _run_serial(self, summary, registry, say) -> None:
+        traces = TraceStore(self.cache_dir)
+        for workload, hosts, cores, scale, _dir in self._unique_traces():
+            t0 = perf_counter()
+            _trace, hit = traces.warm(workload, hosts, cores, scale)
+            summary.trace_reports.append(
+                (workload, hit, perf_counter() - t0)
+            )
+        for spec in self.specs:
+            outcome = run_spec(spec, self.cache_dir, trace_store=traces)
+            report = outcome.report
+            registry.add("sweep.runs")
+            registry.add("sweep.cache_hits", 1.0 if report.cache_hit else 0.0)
+            registry.add("sweep.sim_seconds", report.elapsed_s)
+            registry.merge(
+                outcome.result.stats, gauges=stat_gauges(outcome.result.stats)
+            )
+            self._note(summary, report, say)
+
+    def _run_parallel(self, summary, registry, say) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            # Phase 1: each unique trace generated exactly once.
+            warm = [
+                pool.submit(_warm_trace_worker, task)
+                for task in self._unique_traces()
+            ]
+            for future in as_completed(warm):
+                workload, hit, elapsed = future.result()
+                summary.trace_reports.append((workload, hit, elapsed))
+                state = "trace hit" if hit else "trace gen"
+                say(f"  [{state}] {workload:<43} {elapsed:7.2f}s")
+            # Phase 2: fan the simulations out.
+            futures = [
+                pool.submit(_run_spec_worker, (spec, self.cache_dir))
+                for spec in self.specs
+            ]
+            for future in as_completed(futures):
+                report, snapshot, gauges = future.result()
+                registry.merge(snapshot, gauges=gauges)
+                self._note(summary, report, say)

@@ -57,6 +57,48 @@ class TestCliCommands:
         with pytest.raises(SystemExit):
             main(["run", "--workload", "doom", "--scale", "tiny"])
 
+    def test_sweep_list_variants(self, capsys):
+        assert main(["sweep", "--list-variants"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out
+        assert "link-latency" in out
+        assert "faults" in out
+
+    def test_sweep_list_specs(self, capsys):
+        code = main([
+            "sweep", "--list", "--workloads", "pr,ycsb",
+            "--schemes", "native,pipm", "--scale", "tiny",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pr/pipm" in out
+        assert "4 specs" in out
+
+    def test_sweep_rejects_unknown_workload(self, capsys):
+        code = main([
+            "sweep", "--workloads", "doom", "--scale", "tiny", "--list",
+        ])
+        assert code == 2
+
+    def test_sweep_end_to_end_and_all_hits(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--workers", "2", "--workloads", "pr",
+            "--schemes", "native,pipm", "--scale", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cache hits" in out
+        # A second invocation must be pure cache hits...
+        assert main(argv + ["--require-all-hits"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits (100%)" in out
+        # ...and --require-all-hits must fail once the cache is gone.
+        assert main(["sweep", "--invalidate",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--require-all-hits"]) == 1
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -125,6 +125,58 @@ class TestHarness:
         with pytest.raises(ValueError):
             speedups_over_native({})
 
+    def test_speedups_missing_baseline_names_available_keys(self):
+        with pytest.raises(ValueError, match="pipm"):
+            speedups_over_native({"pipm": None, "memtis": None})
+
+    def test_speedups_custom_baseline(self, scaled_config, tiny_scale):
+        results = compare_schemes(
+            "bodytrack", schemes=["pipm", "local-only"],
+            config=scaled_config, scale=tiny_scale,
+        )
+        speedups = speedups_over_native(results, baseline="local-only")
+        assert set(speedups) == {"pipm"}
+
+    def test_compare_rejects_duplicate_scheme_names(self, scaled_config,
+                                                    tiny_scale):
+        from repro.policies import make_scheme
+
+        with pytest.raises(ValueError, match="duplicate scheme names"):
+            compare_schemes(
+                "bodytrack", schemes=["native", make_scheme("native")],
+                config=scaled_config, scale=tiny_scale,
+            )
+
+    def test_compare_schemes_through_result_cache(self, scaled_config,
+                                                  tiny_scale, tmp_path):
+        cached = compare_schemes(
+            "streamcluster", schemes=["native", "pipm"],
+            config=scaled_config, scale=tiny_scale,
+            cache_dir=tmp_path,
+        )
+        direct = compare_schemes(
+            "streamcluster", schemes=["native", "pipm"],
+            config=scaled_config, scale=tiny_scale,
+        )
+        assert cached == direct
+        # Second call is served from the cache (same objects' values).
+        again = compare_schemes(
+            "streamcluster", schemes=["native", "pipm"],
+            config=scaled_config, scale=tiny_scale,
+            cache_dir=tmp_path,
+        )
+        assert again == cached
+
+    def test_compare_cache_dir_needs_named_inputs(self, scaled_config,
+                                                  tiny_scale,
+                                                  tiny_pr_trace, tmp_path):
+        with pytest.raises(ValueError, match="cacheable spec"):
+            compare_schemes(
+                tiny_pr_trace, schemes=["native"],
+                config=scaled_config, scale=tiny_scale,
+                cache_dir=tmp_path,
+            )
+
     def test_default_scheme_order(self):
         assert DEFAULT_SCHEMES[0] == "native"
         assert DEFAULT_SCHEMES[-2:] == ("pipm", "local-only")

@@ -1,0 +1,167 @@
+"""The parallel sweep runner and the benches' cached-run entry point."""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig
+from repro.sweep import (
+    ExperimentSpec,
+    ResultStore,
+    SweepRunner,
+    TraceStore,
+    build_matrix,
+    run_spec,
+)
+from repro.workloads.trace import WorkloadScale
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+TINY = WorkloadScale.tiny()
+#: The acceptance matrix: 2 workloads x 3 schemes at tiny scale.
+WORKLOADS = ["pr", "ycsb"]
+SCHEMES = ["native", "memtis", "pipm"]
+
+
+def _matrix():
+    return build_matrix(WORKLOADS, SCHEMES, scale=TINY)
+
+
+class TestSweepRunner:
+    def test_parallel_is_byte_identical_to_serial(self, tmp_path):
+        specs = _matrix()
+        serial = SweepRunner(specs, tmp_path / "serial", workers=1).run()
+        parallel = SweepRunner(specs, tmp_path / "parallel", workers=2).run()
+        assert serial.misses == len(specs) == parallel.misses
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        keys = sorted(serial_store.keys())
+        assert keys == sorted(parallel_store.keys())
+        assert len(keys) == len(specs)
+        for key in keys:
+            assert (serial_store.path_for(key).read_bytes()
+                    == parallel_store.path_for(key).read_bytes())
+
+    def test_second_invocation_is_all_hits(self, tmp_path):
+        specs = _matrix()[:3]
+        first = SweepRunner(specs, tmp_path, workers=2).run()
+        assert first.hits == 0
+        second = SweepRunner(specs, tmp_path, workers=2).run()
+        assert second.hits == len(specs)
+        assert second.hit_rate == 1.0
+        # All-hits sweeps touch no traces at all.
+        assert second.trace_reports == []
+
+    def test_traces_generated_once_per_workload(self, tmp_path):
+        specs = _matrix()
+        summary = SweepRunner(specs, tmp_path, workers=2).run()
+        # 6 specs share 2 traces: one warm task per workload, none a hit.
+        assert len(summary.trace_reports) == len(WORKLOADS)
+        assert all(not hit for _wl, hit, _s in summary.trace_reports)
+        trace_files = list(TraceStore(tmp_path).traces_dir.glob("*.pkl"))
+        assert len(trace_files) == len(WORKLOADS)
+
+    def test_stats_aggregate_counter_vs_gauge(self, tmp_path):
+        specs = _matrix()
+        summary = SweepRunner(specs, tmp_path, workers=2).run()
+        assert summary.stats["sweep.runs"] == len(specs)
+        assert summary.stats["sweep.cache_hits"] == 0
+        # Gauges must not be multiplied by the number of merged workers:
+        # every run reports freq_ghz=4.0 and a merged *sum* would be 24.0.
+        assert summary.stats["freq_ghz"] == 4.0
+        assert 0.0 <= summary.stats["harmful_fraction"] <= 1.0
+        # Counters accumulate across workers.
+        assert summary.stats["pipm_promotions"] > 0
+
+    def test_per_run_reports_carry_wall_clock_and_hit(self, tmp_path):
+        spec = ExperimentSpec.build("pr", "native", scale=TINY)
+        miss = run_spec(spec, tmp_path)
+        assert not miss.report.cache_hit
+        assert miss.report.elapsed_s > 0
+        hit = run_spec(spec, tmp_path)
+        assert hit.report.cache_hit
+        assert hit.result == miss.result
+        assert hit.report.elapsed_s < miss.report.elapsed_s
+
+    def test_workers_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepRunner([], tmp_path, workers=-1)
+
+    @pytest.mark.skipif(
+        len(os.sched_getaffinity(0)) < 4,
+        reason="wall-clock speedup needs >= 4 usable CPUs",
+    )
+    def test_four_workers_at_least_2x_faster(self, tmp_path):
+        specs = _matrix()
+        t0 = time.perf_counter()
+        SweepRunner(specs, tmp_path / "serial", workers=1).run()
+        serial_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        SweepRunner(specs, tmp_path / "parallel", workers=4).run()
+        parallel_wall = time.perf_counter() - t0
+        assert parallel_wall * 2.0 <= serial_wall, (
+            f"4 workers: {parallel_wall:.2f}s vs serial {serial_wall:.2f}s"
+        )
+
+
+class TestRunCached:
+    @pytest.fixture()
+    def common(self, tmp_path, monkeypatch):
+        import common as module
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        monkeypatch.setattr(module, "CACHE_DIR", tmp_path)
+        monkeypatch.setattr(module, "_TRACES", TraceStore(tmp_path))
+        return module
+
+    def test_config_is_part_of_the_key(self, common):
+        """Regression: same tag + different config must not alias.
+
+        The old ``workload|scheme|scale|tag`` key ignored the config, so
+        an ablation that forgot a unique tag silently read the base
+        config's result.
+        """
+        base = common.run_cached("pr", "native")
+        slow_cfg = SystemConfig.scaled().replace_nested(
+            "cxl_link", latency_ns=400.0
+        )
+        slow = common.run_cached("pr", "native", config=slow_cfg)
+        assert slow.exec_time_ns > base.exec_time_ns
+        # Both entries coexist; re-reads return the matching result.
+        assert common.run_cached("pr", "native") == base
+        assert common.run_cached("pr", "native", config=slow_cfg) == slow
+
+    def test_scheme_and_system_kwargs_are_part_of_the_key(self, common):
+        default = common.run_cached("pr", "pipm")
+        infinite = common.run_cached(
+            "pr", "pipm", infinite_local_remap_cache=True
+        )
+        store = ResultStore(common.CACHE_DIR)
+        assert len(store) == 2
+        assert default == common.run_cached("pr", "pipm")
+        assert infinite == common.run_cached(
+            "pr", "pipm", infinite_local_remap_cache=True
+        )
+
+    def test_tag_is_label_only(self, common):
+        a = common.run_cached("ycsb", "native", tag="one")
+        b = common.run_cached("ycsb", "native", tag="two")
+        assert a == b
+        assert len(ResultStore(common.CACHE_DIR)) == 1
+
+    def test_cache_shared_with_sweep_matrix(self, common):
+        """`repro sweep` pre-computes exactly what run_cached reads."""
+        specs = build_matrix(["pr"], ["native"], scale=TINY)
+        summary = SweepRunner(specs, common.CACHE_DIR, workers=1).run()
+        assert summary.misses == 1
+        result = common.run_cached("pr", "native")
+        assert result.workload == "pr"
+        # No new entry: the bench read the sweep's result.
+        assert len(ResultStore(common.CACHE_DIR)) == 1
