@@ -84,12 +84,20 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name (``lru``/``random``/``srrip``)."""
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``random``/``srrip``).
+
+    ``seed`` feeds stochastic policies (currently ``random``) so victim
+    choices are a function of the experiment config, not process entropy;
+    deterministic policies ignore it.
+    """
     try:
-        return _POLICIES[name]()
+        factory = _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown replacement policy {name!r}; "
             f"choose from {sorted(_POLICIES)}"
         ) from None
+    if factory is RandomPolicy:
+        return factory(seed)
+    return factory()

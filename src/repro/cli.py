@@ -7,6 +7,7 @@ Commands
 ``sweep``     fan a (workload x scheme x variant) matrix across a process
               pool into the shared result cache
 ``check``     model-check the coherence protocols (the Murphi step)
+``lint``      static determinism/unit lints + protocol-table analysis
 ``workloads`` print the Table 1 inventory
 ``config``    print the Table 2 system configuration
 """
@@ -112,6 +113,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="model-check the protocols")
     check.add_argument("--hosts", type=int, default=3)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism/unit lints + protocol-table analysis",
+        description=(
+            "simcheck: AST lints for the determinism contract the result "
+            "cache depends on (wall clocks, unseeded RNG, set-order "
+            "iteration, unit and stats discipline) plus a static analyzer "
+            "for the coherence TRANSITION_TABLEs (exhaustiveness, "
+            "ambiguity, message closure, wait-for cycles)."
+        ),
+    )
+    from .simcheck.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
 
     sub.add_parser("workloads", help="list the Table 1 workloads")
     sub.add_parser("config", help="show the Table 2 configuration")
@@ -299,11 +315,18 @@ def _cmd_config(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .simcheck.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "check": _cmd_check,
+    "lint": _cmd_lint,
     "workloads": _cmd_workloads,
     "config": _cmd_config,
 }

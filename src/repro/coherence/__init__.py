@@ -14,6 +14,7 @@ Two layers live here:
 
 from .states import CacheState, MemBit, encode_local_state, encode_device_state
 from .messages import MessageType
+from .table import Emit, ProtocolTable, RoleSpec, Transition, Wait
 from .base_protocol import BaseCxlDsmModel
 from .pipm_protocol import PipmModel
 from .checker import CheckResult, ModelChecker
@@ -31,4 +32,9 @@ __all__ = [
     "PipmModel",
     "ModelChecker",
     "CheckResult",
+    "Emit",
+    "ProtocolTable",
+    "RoleSpec",
+    "Transition",
+    "Wait",
 ]

@@ -1,0 +1,176 @@
+"""Declarative protocol transition tables (the Murphi-rule view).
+
+The executable models in :mod:`base_protocol` and :mod:`pipm_protocol`
+encode transitions as Python methods, which the explicit-state checker
+explores at runtime.  That catches *behavioural* bugs, but it cannot catch
+a table that statically drops a ``(state, event)`` pair, declares two
+ambiguous rules for the same stimulus, or emits a message no receiver
+handles — the class of defect Murphi's rule tables surface at compile
+time.  This module is the vocabulary for writing those tables down
+explicitly; ``repro.simcheck.protocol`` analyzes them without simulating.
+
+A table names one or more *roles* (the host-side cache/directory FSM, the
+device directory FSM).  Each :class:`Transition` belongs to a role and
+covers one ``(state, event)`` stimulus: the stable next state(s), the
+fabric messages it emits/consumes, and the message it blocks on, if any.
+Guards distinguish intentionally-split rules for the same stimulus (e.g.
+PIPM's "line is migrated here" vs. "line lives in CXL memory"); the
+analyzer treats a pair as ambiguous unless every entry carries a distinct
+non-empty guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .messages import MessageType
+
+
+@dataclass(frozen=True)
+class Emit:
+    """One message sent on the fabric: ``msg`` delivered to ``to_role``."""
+
+    msg: MessageType
+    to_role: str
+
+
+@dataclass(frozen=True)
+class Wait:
+    """A blocking dependency: the transition stalls until ``msg`` arrives
+    from one of ``from_roles``."""
+
+    msg: MessageType
+    from_roles: Tuple[str, ...]
+
+
+def emit(msg: MessageType, to_role: str) -> Emit:
+    return Emit(msg, to_role)
+
+
+def wait(msg: MessageType, *from_roles: str) -> Wait:
+    if not from_roles:
+        raise ValueError("a Wait needs at least one producing role")
+    return Wait(msg, tuple(from_roles))
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One table row: ``(role, state, event) -> next_states``.
+
+    ``illegal`` rows document stimuli the protocol can never receive in
+    that state (the directory never invalidates a non-sharer, a host never
+    evicts an invalid line); declaring them keeps the exhaustiveness check
+    honest instead of silent.
+    """
+
+    role: str
+    state: str
+    event: str
+    next_states: Tuple[str, ...] = ()
+    emits: Tuple[Emit, ...] = ()
+    consumes: Tuple[MessageType, ...] = ()
+    waits: Tuple[Wait, ...] = ()
+    guard: str = ""
+    illegal: bool = False
+    note: str = ""
+
+    @property
+    def stimulus(self) -> Tuple[str, str, str]:
+        return (self.role, self.state, self.event)
+
+    @property
+    def blocking(self) -> bool:
+        return bool(self.waits)
+
+    def label(self) -> str:
+        guard = f" [{self.guard}]" if self.guard else ""
+        return f"{self.role}({self.state}, {self.event}){guard}"
+
+
+def t(
+    role: str,
+    state: str,
+    event: str,
+    next_state,
+    *,
+    emits: Iterable[Emit] = (),
+    consumes: Iterable[MessageType] = (),
+    waits: Iterable[Wait] = (),
+    guard: str = "",
+    note: str = "",
+) -> Transition:
+    """Terse legal-transition constructor; ``next_state`` may be a string
+    (one stable successor) or a tuple (guarded-by-runtime alternatives)."""
+    next_states = (
+        (next_state,) if isinstance(next_state, str) else tuple(next_state)
+    )
+    return Transition(
+        role=role,
+        state=state,
+        event=event,
+        next_states=next_states,
+        emits=tuple(emits),
+        consumes=tuple(consumes),
+        waits=tuple(waits),
+        guard=guard,
+        note=note,
+    )
+
+
+def illegal(
+    role: str, state: str, event: str, guard: str = "", note: str = ""
+) -> Transition:
+    """A stimulus declared unreachable in this state."""
+    return Transition(
+        role=role, state=state, event=event, guard=guard, illegal=True,
+        note=note,
+    )
+
+
+@dataclass(frozen=True)
+class RoleSpec:
+    """One FSM in the protocol: its stable states and its stimuli."""
+
+    name: str
+    states: Tuple[str, ...]
+    events: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProtocolTable:
+    """A complete protocol: roles plus every transition row."""
+
+    name: str
+    roles: Tuple[RoleSpec, ...]
+    transitions: Tuple[Transition, ...]
+    doc: str = ""
+
+    def role(self, name: str) -> Optional[RoleSpec]:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        return None
+
+    def role_names(self) -> Tuple[str, ...]:
+        return tuple(role.name for role in self.roles)
+
+    def by_stimulus(self) -> Dict[Tuple[str, str, str], Tuple[Transition, ...]]:
+        grouped: Dict[Tuple[str, str, str], list] = {}
+        for transition in self.transitions:
+            grouped.setdefault(transition.stimulus, []).append(transition)
+        return {key: tuple(rows) for key, rows in grouped.items()}
+
+    def messages_used(self) -> Tuple[MessageType, ...]:
+        """Every message type the table emits, consumes, or waits on."""
+        used = []
+        for transition in self.transitions:
+            for e in transition.emits:
+                used.append(e.msg)
+            used.extend(transition.consumes)
+            for w in transition.waits:
+                used.append(w.msg)
+        seen: Dict[MessageType, None] = {}
+        for msg in used:
+            seen.setdefault(msg, None)
+        return tuple(seen)

@@ -408,7 +408,7 @@ class SystemConfig:
         )
         # Keep the paper's sizing rule: the device directory covers the sum
         # of all hosts' LLC capacities (512K entries vs 4 x 8MB LLCs there).
-        llc_lines_total = num_hosts * llc.size_bytes // 64
+        llc_lines_total = num_hosts * llc.size_bytes // units.CACHE_LINE
         slices = max(1, base.directory.slices // 4)
         dir_sets = max(64, llc_lines_total // (base.directory.ways * slices))
         directory = dataclasses.replace(

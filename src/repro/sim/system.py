@@ -370,7 +370,7 @@ class MultiHostSystem:
     def _dir_update(self, host_id, line, is_write, entry, now):
         if is_write:
             if entry is not None:
-                for sharer in entry.sharers:
+                for sharer in sorted(entry.sharers):
                     if sharer != host_id:
                         self.hosts[sharer].invalidate_line(line)
             new_entry, victim = self.device_dir.allocate(line, _M, host_id)
@@ -380,7 +380,7 @@ class MultiHostSystem:
             if new_entry.state == _M:
                 new_entry.state = _S
             # E -> S downgrade: earlier sole holders lose exclusivity.
-            for sharer in new_entry.sharers:
+            for sharer in sorted(new_entry.sharers):
                 if sharer != host_id:
                     self._drop_exclusivity(sharer, line)
             new_entry.sharers.add(host_id)
@@ -404,7 +404,7 @@ class MultiHostSystem:
         holders = set(victim.sharers)
         if victim.owner >= 0:
             holders.add(victim.owner)
-        for holder in holders:
+        for holder in sorted(holders):
             dirty = self.hosts[holder].invalidate_line(victim.line)
             if dirty:
                 base = victim.line << units.LINE_SHIFT
@@ -417,7 +417,7 @@ class MultiHostSystem:
         lat += self._ddir_ns
         entry = self.device_dir.peek(line)
         if entry is not None:
-            for sharer in list(entry.sharers):
+            for sharer in sorted(entry.sharers):
                 if sharer != host_id:
                     self.hosts[sharer].invalidate_line(line)
             entry.sharers = {host_id}

@@ -1,0 +1,160 @@
+"""``python -m repro lint`` — the simcheck driver.
+
+Exit codes: ``0`` clean (info notes allowed), ``1`` at least one error
+finding survived suppressions and the baseline, ``2`` usage or
+environment problems (unknown scope, unreadable baseline, bad path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import rules as _rules  # noqa: F401  (import populates the registry)
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    LintEngine,
+    SCOPES,
+    all_rules,
+    iter_python_files,
+    relativize,
+)
+from .findings import LintReport
+from .protocol import PROTOCOL_MODULES, analyze_repo_tables
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--scope", action="append", choices=SCOPES, default=None,
+        dest="scopes", metavar="SCOPE",
+        help="lint this scope; repeatable (default: src only — "
+             "benchmarks/ and tests/ are opt-in)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report on stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report all findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current error findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--no-protocol", action="store_true",
+        help="skip the protocol-table analyzer",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        scopes = ",".join(rule.scopes)
+        print(f"{rule.id:<9} [{scopes}] {rule.title}")
+    print(f"{'PROTO001':<9} [tables] unhandled (state, event) pair")
+    print(f"{'PROTO002':<9} [tables] ambiguous transitions for one stimulus")
+    print(f"{'PROTO003':<9} [tables] emitted/awaited message without peer")
+    print(f"{'PROTO004':<9} [tables] static wait-for cycle (deadlock)")
+    print(f"{'PROTO005':<9} [tables] unknown state/event/role in a row")
+    print(f"{'PROTO006':<9} [tables] note: message types never referenced")
+    return 0
+
+
+def run_lint(args) -> int:
+    if args.list_rules:
+        return _list_rules()
+
+    root = os.getcwd()
+    scopes = tuple(args.scopes) if args.scopes else ("src",)
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    engine = LintEngine(scopes=scopes, root=root)
+    result = engine.run(args.paths)
+
+    report = LintReport(
+        findings=list(result.findings),
+        suppressed=result.suppressed,
+        files_checked=result.files_checked,
+    )
+
+    # The protocol pass fires only when the run actually covers the
+    # modules that define the tables (so `lint benchmarks/` stays fast).
+    if not args.no_protocol:
+        linted = {
+            relativize(path, root)
+            for path in iter_python_files(args.paths)
+        }
+        wanted = [rel for rel in PROTOCOL_MODULES if rel in linted]
+        if wanted:
+            table_findings, checked = analyze_repo_tables(root, wanted)
+            report.findings.extend(table_findings)
+            report.tables_checked = len(checked)
+
+    report.sort()
+
+    if args.write_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE
+        entries = write_baseline(baseline_path, report.findings)
+        print(
+            f"wrote {baseline_path}: {entries} fingerprint(s) covering "
+            f"{len(report.errors)} error finding(s)"
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path and not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        report.findings, report.grandfathered = apply_baseline(
+            report.findings, baseline
+        )
+
+    if args.json:
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simcheck",
+        description="static determinism/unit lints + protocol-table checks",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,308 @@
+"""The AST lint engine: rule registry, file walking, suppressions, scopes.
+
+Rules are small visitor-style objects registered by module import (see
+:mod:`repro.simcheck.rules`).  The engine parses each target file once,
+hands every applicable rule a shared :class:`FileContext`, filters
+``# simcheck: ignore[RULE]`` suppressions, and returns raw findings; the
+CLI layers the baseline on top (:mod:`repro.simcheck.baseline`).
+
+Scopes
+------
+Files are classified by path: anything under a ``tests``/``benchmarks``
+directory gets that scope, everything else is ``src``.  A rule declares
+which scopes it is meaningful for (simulator determinism rules make no
+sense in tests, which may use throwaway randomness); the engine runs a
+rule on a file only when both the rule and the requested scope set allow
+it.  ``src`` is the only scope linted by default — ``benchmarks`` and
+``tests`` are opt-in via ``python -m repro lint --scope``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding, source_line
+
+SCOPES = ("src", "benchmarks", "tests")
+
+#: ``# simcheck: ignore`` or ``# simcheck: ignore[DET001, ORD001]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*simcheck:\s*ignore(?:-file)?(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*simcheck:\s*ignore-file(?:\[([A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file (parsed once)."""
+
+    path: str  # absolute
+    relpath: str  # repo-relative, '/'-separated
+    scope: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def finding(
+        self, rule: str, node, message: str, severity: str = "error"
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity,
+            line_text=source_line(self.lines, lineno),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (stable, referenced by suppressions and the
+    baseline), ``title``, and ``scopes``, and implement :meth:`check`.
+    """
+
+    id: str = ""
+    title: str = ""
+    scopes: Tuple[str, ...] = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Path-level opt-in hook (e.g. unit rules only watch mem/)."""
+        return True
+
+
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding one instance of a rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def classify_scope(relpath: str) -> str:
+    parts = relpath.replace(os.sep, "/").split("/")
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    return "src"
+
+
+def parse_suppressions(
+    lines: List[str],
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level suppression sets from magic comments.
+
+    Returns ``(by_line, file_level)``; sets contain rule IDs or
+    :data:`ALL_RULES`.  A bare ``ignore`` suppresses every rule on its
+    line; ``ignore-file`` (anywhere in the first five lines) suppresses
+    for the whole file.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    for lineno, text in enumerate(lines, start=1):
+        if "simcheck" not in text:
+            continue
+        file_match = _SUPPRESS_FILE_RE.search(text)
+        if file_match and lineno <= 5:
+            rules = file_match.group(1)
+            if rules:
+                file_level.update(
+                    r.strip() for r in rules.split(",") if r.strip()
+                )
+            else:
+                file_level.add(ALL_RULES)
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = match.group(1)
+        entry = by_line.setdefault(lineno, set())
+        if rules:
+            entry.update(r.strip() for r in rules.split(",") if r.strip())
+        else:
+            entry.add(ALL_RULES)
+    return by_line, file_level
+
+
+def is_suppressed(
+    finding: Finding,
+    by_line: Dict[int, Set[str]],
+    file_level: Set[str],
+) -> bool:
+    if ALL_RULES in file_level or finding.rule in file_level:
+        return True
+    rules = by_line.get(finding.line)
+    return rules is not None and (
+        ALL_RULES in rules or finding.rule in rules
+    )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files accepted verbatim)."""
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def relativize(path: str, root: Optional[str] = None) -> str:
+    root = root or os.getcwd()
+    try:
+        rel = os.path.relpath(os.path.abspath(path), root)
+    except ValueError:  # different drive (windows); keep absolute
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+@dataclass
+class EngineResult:
+    """Raw engine output, before baseline filtering."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+
+class LintEngine:
+    """Run every applicable registered rule over a set of paths."""
+
+    def __init__(
+        self,
+        scopes: Iterable[str] = ("src",),
+        rules: Optional[Iterable[Rule]] = None,
+        root: Optional[str] = None,
+    ) -> None:
+        for scope in scopes:
+            if scope not in SCOPES:
+                raise ValueError(
+                    f"unknown scope {scope!r}; choose from {SCOPES}"
+                )
+        self.scopes = tuple(scopes)
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.root = root or os.getcwd()
+
+    def lint_file(self, path: str) -> Tuple[List[Finding], int, bool]:
+        """Findings, suppression count, and whether the file was in scope."""
+        relpath = relativize(path, self.root)
+        scope = classify_scope(relpath)
+        if scope not in self.scopes:
+            return [], 0, False
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        rule="SYNTAX",
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}",
+                        line_text=source_line(lines, exc.lineno or 1),
+                    )
+                ],
+                0,
+                True,
+            )
+        ctx = FileContext(
+            path=path,
+            relpath=relpath,
+            scope=scope,
+            source=source,
+            tree=tree,
+            lines=lines,
+        )
+        by_line, file_level = parse_suppressions(lines)
+        findings: List[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if scope not in rule.scopes or not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if is_suppressed(finding, by_line, file_level):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        return findings, suppressed, True
+
+    def run(self, paths: Iterable[str]) -> EngineResult:
+        result = EngineResult()
+        for path in iter_python_files(paths):
+            findings, suppressed, checked = self.lint_file(path)
+            result.findings.extend(findings)
+            result.suppressed += suppressed
+            if checked:
+                result.files_checked += 1
+        return result
+
+
+def lint_source(
+    source: str,
+    relpath: str = "src/repro/snippet.py",
+    rules: Optional[Iterable[Rule]] = None,
+    scope: Optional[str] = None,
+) -> List[Finding]:
+    """Lint a source string — the golden-test entry point."""
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=relpath,
+        relpath=relpath,
+        scope=scope or classify_scope(relpath),
+        source=source,
+        tree=ast.parse(source),
+        lines=lines,
+    )
+    by_line, file_level = parse_suppressions(lines)
+    findings: List[Finding] = []
+    for rule in (list(rules) if rules is not None else all_rules()):
+        if ctx.scope not in rule.scopes or not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not is_suppressed(finding, by_line, file_level):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

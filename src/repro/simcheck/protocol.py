@@ -1,0 +1,329 @@
+"""Static analyzer for declarative coherence protocol tables.
+
+Imports the :data:`TRANSITION_TABLE` objects from
+:mod:`repro.coherence.base_protocol` / :mod:`repro.coherence.pipm_protocol`
+and checks them *without simulating* — the Murphi-compile-time class of
+defect that the runtime :class:`~repro.coherence.checker.ModelChecker`
+can only find by stumbling into the bad state:
+
+* ``PROTO001`` exhaustiveness — every ``(state, event)`` pair of every
+  role is either handled or explicitly declared illegal;
+* ``PROTO002`` determinism — no stimulus maps to two transitions unless
+  every entry carries a distinct non-empty guard;
+* ``PROTO003`` message closure — every emitted message has a consumer in
+  the destination role, and every awaited message has a producer;
+* ``PROTO004`` liveness — no static wait-for cycle among blocking
+  transitions (A stalls on a message only a stalled B can send);
+* ``PROTO005`` structural validity — states/events/roles referenced by a
+  row all exist in the role specs.
+
+An info-severity note lists :class:`MessageType` members the table never
+references (e.g. the ``NC_RD``/``NC_WR`` GIM path, which is timing-only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..coherence.messages import MessageType
+from ..coherence.table import ProtocolTable, Transition
+from .findings import Finding
+
+#: Modules whose presence in a lint run triggers the protocol pass, mapped
+#: to import callables so ``lint`` can resolve them lazily.
+PROTOCOL_MODULES = (
+    "src/repro/coherence/base_protocol.py",
+    "src/repro/coherence/pipm_protocol.py",
+)
+
+
+def _table_line(source_path: str) -> int:
+    """Line of the ``TRANSITION_TABLE = ...`` assignment, for findings."""
+    try:
+        with open(source_path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        return 1
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "TRANSITION_TABLE"
+                ):
+                    return node.lineno
+    return 1
+
+
+class ProtocolAnalyzer:
+    """Checks one :class:`ProtocolTable`; findings point at ``path``."""
+
+    def __init__(
+        self,
+        table: ProtocolTable,
+        path: str = "<table>",
+        line: int = 1,
+    ) -> None:
+        self.table = table
+        self.path = path
+        self.line = line
+
+    def _finding(
+        self, rule: str, message: str, severity: str = "error"
+    ) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=self.line,
+            message=f"{self.table.name}: {message}",
+            severity=severity,
+            line_text=f"{self.table.name}::{message}",
+        )
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+
+    def check_structure(self) -> Iterator[Finding]:
+        role_names = set(self.table.role_names())
+        for row in self.table.transitions:
+            role = self.table.role(row.role)
+            if role is None:
+                yield self._finding(
+                    "PROTO005",
+                    f"transition {row.label()} names unknown role "
+                    f"{row.role!r} (roles: {sorted(role_names)})",
+                )
+                continue
+            if row.state not in role.states:
+                yield self._finding(
+                    "PROTO005",
+                    f"transition {row.label()} starts in {row.state!r}, "
+                    f"not a state of role {row.role!r} "
+                    f"({list(role.states)})",
+                )
+            if row.event not in role.events:
+                yield self._finding(
+                    "PROTO005",
+                    f"transition {row.label()} fires on {row.event!r}, "
+                    f"not an event of role {row.role!r} "
+                    f"({list(role.events)})",
+                )
+            for nxt in row.next_states:
+                if nxt not in role.states:
+                    yield self._finding(
+                        "PROTO005",
+                        f"transition {row.label()} targets {nxt!r}, not a "
+                        f"state of role {row.role!r}",
+                    )
+            for e in row.emits:
+                if e.to_role not in role_names:
+                    yield self._finding(
+                        "PROTO005",
+                        f"transition {row.label()} emits {e.msg.name} to "
+                        f"unknown role {e.to_role!r}",
+                    )
+            for w in row.waits:
+                for producer in w.from_roles:
+                    if producer not in role_names:
+                        yield self._finding(
+                            "PROTO005",
+                            f"transition {row.label()} waits for "
+                            f"{w.msg.name} from unknown role "
+                            f"{producer!r}",
+                        )
+
+    def check_exhaustiveness(self) -> Iterator[Finding]:
+        covered = set(self.table.by_stimulus())
+        for role in self.table.roles:
+            for state in role.states:
+                for event in role.events:
+                    if (role.name, state, event) not in covered:
+                        yield self._finding(
+                            "PROTO001",
+                            f"({role.name}, {state}, {event}) is neither "
+                            f"handled nor declared illegal — the FSM's "
+                            f"behaviour for this stimulus is undefined",
+                        )
+
+    def check_determinism(self) -> Iterator[Finding]:
+        for stimulus, rows in sorted(self.table.by_stimulus().items()):
+            if len(rows) < 2:
+                continue
+            guards = [row.guard for row in rows]
+            distinct = len(set(guards)) == len(guards)
+            if "" in guards or not distinct:
+                role, state, event = stimulus
+                yield self._finding(
+                    "PROTO002",
+                    f"({role}, {state}, {event}) has {len(rows)} "
+                    f"transitions with guards {guards!r}; split rules "
+                    f"must each carry a distinct non-empty guard",
+                )
+
+    def check_closure(self) -> Iterator[Finding]:
+        """Every Emit has a consumer; every Wait has a producer."""
+        # Receivers: role -> messages it consumes or blocks on.
+        receivers: Dict[str, set] = {
+            role.name: set() for role in self.table.roles
+        }
+        for row in self.table.transitions:
+            sink = receivers.setdefault(row.role, set())
+            sink.update(row.consumes)
+            sink.update(w.msg for w in row.waits)
+        # Producers: (msg, to_role) pairs some transition emits.
+        produced = {
+            (e.msg, e.to_role)
+            for row in self.table.transitions
+            for e in row.emits
+        }
+        producers_by_role: Dict[str, set] = {}
+        for row in self.table.transitions:
+            for e in row.emits:
+                producers_by_role.setdefault(row.role, set()).add(e.msg)
+
+        for row in self.table.transitions:
+            for e in row.emits:
+                if e.msg not in receivers.get(e.to_role, set()):
+                    yield self._finding(
+                        "PROTO003",
+                        f"{row.label()} emits {e.msg.name} to "
+                        f"{e.to_role!r}, but no {e.to_role} transition "
+                        f"consumes or waits for {e.msg.name} — the "
+                        f"message is orphaned",
+                    )
+            for w in row.waits:
+                if not any(
+                    w.msg in producers_by_role.get(producer, set())
+                    and (w.msg, row.role) in produced
+                    for producer in w.from_roles
+                ):
+                    yield self._finding(
+                        "PROTO003",
+                        f"{row.label()} waits for {w.msg.name} from "
+                        f"{list(w.from_roles)}, but no such role emits "
+                        f"{w.msg.name} to {row.role!r} — the wait can "
+                        f"never be satisfied",
+                    )
+
+    def check_wait_cycles(self) -> Iterator[Finding]:
+        """No cycle A-waits-on-B-waits-on-...-waits-on-A among blocking
+        transitions: a static deadlock the runtime checker only finds if
+        its BFS happens to interleave into it."""
+        blocking = [row for row in self.table.transitions if row.blocking]
+        edges: Dict[int, List[int]] = {i: [] for i in range(len(blocking))}
+        for i, waiter in enumerate(blocking):
+            for w in waiter.waits:
+                for j, producer in enumerate(blocking):
+                    if i == j or producer.role not in w.from_roles:
+                        continue
+                    if any(
+                        e.msg == w.msg and e.to_role == waiter.role
+                        for e in producer.emits
+                    ):
+                        edges[i].append(j)
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * len(blocking)
+        stack: List[int] = []
+
+        def visit(node: int) -> Optional[List[int]]:
+            color[node] = GREY
+            stack.append(node)
+            for succ in edges[node]:
+                if color[succ] == GREY:
+                    return stack[stack.index(succ):] + [succ]
+                if color[succ] == WHITE:
+                    cycle = visit(succ)
+                    if cycle:
+                        return cycle
+            stack.pop()
+            color[node] = BLACK
+            return None
+
+        for start in range(len(blocking)):
+            if color[start] != WHITE:
+                continue
+            cycle = visit(start)
+            if cycle:
+                chain = " -> ".join(blocking[i].label() for i in cycle)
+                yield self._finding(
+                    "PROTO004",
+                    f"static wait-for cycle among blocking transitions: "
+                    f"{chain}; each stalls on a message only another "
+                    f"stalled transition can send",
+                )
+                return
+
+    def check_unused_messages(self) -> Iterator[Finding]:
+        used = set(self.table.messages_used())
+        unused = [m.name for m in MessageType if m not in used]
+        if unused:
+            yield self._finding(
+                "PROTO006",
+                f"MessageType members never referenced by the table: "
+                f"{unused} (fine if they belong to a timing-only path, "
+                f"e.g. the non-cacheable GIM accesses)",
+                severity="info",
+            )
+
+    def run(self) -> List[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self.check_structure())
+        # A structurally broken table produces noise from the deeper
+        # checks; report only the structural findings in that case.
+        if any(f.rule == "PROTO005" for f in findings):
+            return findings
+        findings.extend(self.check_exhaustiveness())
+        findings.extend(self.check_determinism())
+        findings.extend(self.check_closure())
+        findings.extend(self.check_wait_cycles())
+        findings.extend(self.check_unused_messages())
+        return findings
+
+
+def analyze_table(
+    table: ProtocolTable, path: str = "<table>", line: int = 1
+) -> List[Finding]:
+    return ProtocolAnalyzer(table, path=path, line=line).run()
+
+
+def analyze_repo_tables(
+    root: str, relpaths: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], List[str]]:
+    """Analyze the repo's real protocol tables.
+
+    ``relpaths`` filters to tables whose defining module is in the set
+    (posix-style, repo-relative); ``None`` analyzes all.  Returns
+    ``(findings, names_of_tables_checked)``.
+    """
+    import os
+
+    from ..coherence import base_protocol, pipm_protocol
+
+    wanted = set(relpaths) if relpaths is not None else None
+    findings: List[Finding] = []
+    checked: List[str] = []
+    for relpath, module in (
+        (PROTOCOL_MODULES[0], base_protocol),
+        (PROTOCOL_MODULES[1], pipm_protocol),
+    ):
+        if wanted is not None and relpath not in wanted:
+            continue
+        table = getattr(module, "TRANSITION_TABLE", None)
+        if table is None:
+            findings.append(
+                Finding(
+                    rule="PROTO005",
+                    path=relpath,
+                    line=1,
+                    message=f"{relpath} defines no TRANSITION_TABLE",
+                    line_text=relpath,
+                )
+            )
+            continue
+        line = _table_line(os.path.join(root, relpath))
+        findings.extend(analyze_table(table, path=relpath, line=line))
+        checked.append(table.name)
+    return findings, checked

@@ -1,0 +1,57 @@
+"""Shared AST helpers for the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportMap:
+    """Resolve names/attribute chains in one module to dotted paths.
+
+    Tracks ``import numpy as np`` (alias -> module) and ``from x import
+    y [as z]`` (name -> ``x.y``), so a call like ``np.random.default_rng()``
+    resolves to ``numpy.random.default_rng`` and ``default_rng()`` (after a
+    ``from numpy.random import default_rng``) resolves identically.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        first = alias.name.split(".")[0]
+                        self.aliases[first] = first
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of a Name/Attribute chain, or None."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def call_name(imports: ImportMap, call: ast.Call) -> Optional[str]:
+    return imports.resolve(call.func)
+
+
+def unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - very old py or exotic node
+        return "<expr>"

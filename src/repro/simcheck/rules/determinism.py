@@ -1,0 +1,134 @@
+"""Determinism rules: no wall-clock reads, no unseeded or global RNG.
+
+The content-addressed bench cache (PR 2) treats a simulation as a pure
+function of its :class:`~repro.sweep.spec.ExperimentSpec`; a single
+wall-clock read or unseeded random draw silently poisons every cached
+figure derived from the run.  These rules make that contract checkable at
+commit time.
+
+``time.perf_counter``/``time.monotonic`` are deliberately allowed: they
+measure *elapsed host time* for reporting (the sweep runner's wall/work
+accounting) and never feed simulated state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from .common import ImportMap, call_name
+
+#: Wall-clock reads that make output depend on when the run happened.
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: RNG factories that are fine *with* a seed argument, poison without one.
+SEEDABLE_FACTORIES = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+#: Draws from interpreter-global RNG state: unseedable per-component and
+#: shared across everything in the process.
+GLOBAL_RANDOM_FNS = {
+    f"random.{fn}"
+    for fn in (
+        "random", "randint", "randrange", "uniform", "choice", "choices",
+        "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+        "betavariate", "paretovariate", "triangular", "vonmisesvariate",
+        "weibullvariate", "lognormvariate", "gammavariate", "seed",
+        "getrandbits", "randbytes",
+    )
+}
+GLOBAL_NUMPY_FNS = {
+    f"numpy.random.{fn}"
+    for fn in (
+        "rand", "randn", "random", "random_sample", "ranf", "randint",
+        "choice", "shuffle", "permutation", "normal", "uniform",
+        "standard_normal", "exponential", "poisson", "binomial", "bytes",
+        "seed",
+    )
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET001"
+    title = "wall-clock read in simulator code"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(imports, node)
+            if name in WALL_CLOCK:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{name}() makes output depend on when the run "
+                    f"happened; derive timestamps from the spec or use "
+                    f"time.perf_counter for elapsed-time reporting",
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "DET002"
+    title = "RNG constructed without a seed"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(imports, node)
+            if name not in SEEDABLE_FACTORIES:
+                continue
+            seeded = bool(node.args) or any(
+                kw.arg in (None, "seed", "x") for kw in node.keywords
+            )
+            if not seeded:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{name}() without a seed expression draws entropy "
+                    f"from the OS; thread the config/scale seed through",
+                )
+
+
+@register
+class GlobalRngRule(Rule):
+    id = "DET003"
+    title = "module-global RNG state"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(imports, node)
+            if name in GLOBAL_RANDOM_FNS or name in GLOBAL_NUMPY_FNS:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{name}() uses interpreter-global RNG state shared "
+                    f"by every component; use a seeded instance "
+                    f"(random.Random(seed) / np.random.default_rng(seed))",
+                )

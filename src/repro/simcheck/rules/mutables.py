@@ -1,0 +1,89 @@
+"""Mutable-default rules for dataclass fields and function signatures.
+
+A mutable default is shared by every instance/call; in simulator code
+that typically means cross-run state leaking through a config object —
+another way a run stops being a pure function of its spec.  The runtime
+only catches the ``list``/``dict``/``set`` literals in dataclasses (and
+only on instantiation); this rule also catches constructor calls like
+``= defaultdict(list)`` and plain function defaults, at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from .common import unparse
+
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+}
+
+
+def _mutable_default(node: Optional[ast.AST]) -> Optional[str]:
+    """A short description if ``node`` is a mutable default, else None."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return unparse(node)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name in _MUTABLE_CONSTRUCTORS:
+            return unparse(node)
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "MUT001"
+    title = "mutable default (dataclass field or function argument)"
+    scopes = ("src", "benchmarks", "tests")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                for stmt in node.body:
+                    if not isinstance(stmt, ast.AnnAssign):
+                        continue
+                    described = _mutable_default(stmt.value)
+                    if described:
+                        name = unparse(stmt.target)
+                        yield ctx.finding(
+                            self.id,
+                            stmt,
+                            f"dataclass field {name} defaults to mutable "
+                            f"{described}; use "
+                            f"field(default_factory=...)",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    described = _mutable_default(default)
+                    if described:
+                        yield ctx.finding(
+                            self.id,
+                            default,
+                            f"function {node.name}() has mutable default "
+                            f"{described}, shared across calls; default "
+                            f"to None and construct inside",
+                        )

@@ -1,0 +1,128 @@
+"""Ordering rule: no iteration over unordered sets in result paths.
+
+Set iteration order depends on insertion history and (for strings) the
+per-process hash seed, so any statistic, trace, or table built by walking
+a set can differ between two runs of the *same* ExperimentSpec — exactly
+the nondeterminism the content-addressed bench cache cannot tolerate.
+Order-insensitive consumers (``len``/``sum``/``min``/``max``/``any``/
+``all``/``sorted``/set algebra) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from .common import unparse
+
+#: Builtins whose output order mirrors the unordered input order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "reversed", "iter"}
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    """Expressions that are unambiguously sets at this very site."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra stays a set: s | t, s & t, s - t, s ^ t.
+        return _is_set_literalish(node.left) or _is_set_literalish(node.right)
+    return False
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    text = unparse(node)
+    head = text.split("[", 1)[0].strip()
+    return head in ("set", "Set", "frozenset", "FrozenSet",
+                    "typing.Set", "typing.FrozenSet")
+
+
+class _SetVarTracker:
+    """Last-assignment-wins map of names/attributes known to hold sets."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        assigns: List[Tuple[int, str, bool]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                is_set = _is_set_literalish(node.value)
+                for target in node.targets:
+                    name = self._target_name(target)
+                    if name:
+                        assigns.append((node.lineno, name, is_set))
+            elif isinstance(node, ast.AnnAssign):
+                name = self._target_name(node.target)
+                if not name:
+                    continue
+                is_set = _annotation_is_set(node.annotation) or (
+                    node.value is not None
+                    and _is_set_literalish(node.value)
+                )
+                assigns.append((node.lineno, name, is_set))
+        self.known: Dict[str, bool] = {}
+        for _, name, is_set in sorted(assigns, key=lambda item: item[0]):
+            self.known[name] = is_set
+
+    @staticmethod
+    def _target_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            return f"{node.value.id}.{node.attr}"
+        return ""
+
+    def is_set(self, node: ast.AST) -> bool:
+        name = self._target_name(node)
+        return bool(name) and self.known.get(name, False)
+
+
+@register
+class SetIterationRule(Rule):
+    id = "ORD001"
+    title = "iteration over an unordered set"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tracker = _SetVarTracker(ctx.tree)
+
+        def flag(node: ast.AST, expr: ast.AST) -> Finding:
+            return ctx.finding(
+                self.id,
+                node,
+                f"iterating over unordered set {unparse(expr)!r}; wrap "
+                f"in sorted(...) so results do not depend on hash order",
+            )
+
+        def is_unordered(expr: ast.AST) -> bool:
+            return _is_set_literalish(expr) or tracker.is_set(expr)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and is_unordered(node.iter):
+                yield flag(node, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                for gen in node.generators:
+                    if is_unordered(gen.iter):
+                        yield flag(node, gen.iter)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_CALLS
+                    and len(node.args) >= 1
+                    and is_unordered(node.args[0])
+                ):
+                    yield flag(node, node.args[0])
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and is_unordered(node.args[0])
+                ):
+                    yield flag(node, node.args[0])

@@ -1,0 +1,101 @@
+"""StatRegistry discipline: counters accumulate, gauges overwrite.
+
+:meth:`repro.stats.StatRegistry.merge` aggregates per-worker snapshots by
+*summing* counter keys and *overwriting* gauge keys.  A key written with
+both ``add`` (counter) and ``put`` (gauge) flips between the two sets at
+runtime, so a parallel sweep either multiplies a rate by the worker count
+or drops accumulated events — silently.  Two statically catchable shapes:
+
+* ``STAT001`` — the same string key used with both ``.add(...)`` and
+  ``.put(...)`` on the same receiver in one module;
+* ``STAT002`` — a read-modify-write ``.put(k, ....get(k...) + ...)``,
+  i.e. a counter implemented with gauge semantics (lost on merge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from .common import unparse
+
+
+def _registry_calls(
+    tree: ast.AST,
+) -> Iterator[Tuple[str, str, str, ast.Call]]:
+    """Yield (op, receiver_text, key_literal, call) for add/put calls."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "add", "put",
+        ):
+            continue
+        if not node.args:
+            continue
+        key = node.args[0]
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        yield func.attr, unparse(func.value), key.value, node
+
+
+@register
+class MixedStatKindRule(Rule):
+    id = "STAT001"
+    title = "stat key used as both counter and gauge"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        ops: Dict[Tuple[str, str], Dict[str, List[ast.Call]]] = {}
+        for op, receiver, key, call in _registry_calls(ctx.tree):
+            ops.setdefault((receiver, key), {}).setdefault(op, []).append(call)
+        for (receiver, key), by_op in sorted(ops.items()):
+            if "add" in by_op and "put" in by_op:
+                call = max(
+                    by_op["add"] + by_op["put"], key=lambda c: c.lineno
+                )
+                yield ctx.finding(
+                    self.id,
+                    call,
+                    f"{receiver}: key {key!r} is written with both add() "
+                    f"(counter) and put() (gauge); merge() semantics "
+                    f"differ, pick one",
+                )
+
+
+@register
+class GaugeAsCounterRule(Rule):
+    id = "STAT002"
+    title = "counter implemented via put(get()+delta)"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for op, receiver, key, call in _registry_calls(ctx.tree):
+            if op != "put" or len(call.args) < 2:
+                continue
+            value = call.args[1]
+            if not isinstance(value, ast.BinOp) or not isinstance(
+                value.op, (ast.Add, ast.Sub)
+            ):
+                continue
+            for inner in ast.walk(value):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "get"
+                    and inner.args
+                    and isinstance(inner.args[0], ast.Constant)
+                    and inner.args[0].value == key
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        call,
+                        f"{receiver}: put({key!r}, ...get({key!r}) ± δ) "
+                        f"is a counter with gauge semantics — worker "
+                        f"merges will drop accumulated events; use "
+                        f"add({key!r}, δ)",
+                    )
+                    break

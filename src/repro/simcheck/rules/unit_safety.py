@@ -1,0 +1,136 @@
+"""Unit-safety heuristics: raw numbers where units.py constants belong.
+
+Scoped to the files where unit mistakes actually corrupt physics —
+``config.py`` (every knob the sweeps vary) and the ``mem/`` timing layer.
+Two patterns:
+
+* ``UNIT001`` — a bare multiple of 1024 assigned to a ``*_bytes``-style
+  name (``8192`` where ``8 * KB`` was meant); misreading one of these
+  silently rescales every capacity-derived result.
+* ``UNIT002`` — the architectural magic numbers 64/4096 (and shift
+  twins 6/12) used in arithmetic instead of ``units.CACHE_LINE`` /
+  ``units.PAGE_SIZE`` (/ ``LINE_SHIFT`` / ``PAGE_SHIFT``), which must
+  stay consistent repo-wide for address math to agree across layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+
+_BYTE_SUFFIXES = ("_bytes", "_size", "_capacity")
+_GEOMETRY_CONSTANTS = {64: "units.CACHE_LINE", 4096: "units.PAGE_SIZE"}
+_SHIFT_CONSTANTS = {6: "units.LINE_SHIFT", 12: "units.PAGE_SHIFT"}
+
+#: units.py constant names; ``64 * KB`` is sixty-four kilobytes, not a
+#: cache-line count, so a unit constant on the other side clears the flag.
+_UNIT_NAMES = {
+    "NS", "US", "MS", "S", "B", "KB", "MB", "GB",
+    "CACHE_LINE", "PAGE_SIZE", "LINES_PER_PAGE",
+    "LINE_SHIFT", "PAGE_SHIFT",
+}
+
+
+def _is_unit_reference(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _UNIT_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _UNIT_NAMES
+    return False
+
+
+def _byteish_name(name: str) -> bool:
+    return name.endswith(_BYTE_SUFFIXES)
+
+
+def _offending_byte_literals(value: ast.AST) -> Iterator[ast.Constant]:
+    for node in ast.walk(value):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+            and node.value >= 1024
+            and node.value % 1024 == 0
+        ):
+            yield node
+
+
+class _UnitScopedRule(Rule):
+    scopes = ("src", "benchmarks")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        rel = ctx.relpath
+        return rel.endswith("/config.py") or rel == "config.py" or (
+            "/mem/" in rel or rel.startswith("mem/")
+        )
+
+
+@register
+class ByteLiteralRule(_UnitScopedRule):
+    id = "UNIT001"
+    title = "raw byte count instead of units.KB/MB/GB"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        def check_value(name: str, value: ast.AST) -> Iterator[Finding]:
+            if not _byteish_name(name) or value is None:
+                return
+            for constant in _offending_byte_literals(value):
+                yield ctx.finding(
+                    self.id,
+                    constant,
+                    f"{name} = {constant.value}: spell byte sizes with "
+                    f"units constants (e.g. "
+                    f"{constant.value // 1024} * units.KB)",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                yield from check_value(node.target.id, node.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield from check_value(target.id, node.value)
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg:
+                        yield from check_value(keyword.arg, keyword.value)
+
+
+@register
+class GeometryLiteralRule(_UnitScopedRule):
+    id = "UNIT002"
+    title = "magic cache-line/page constant instead of units.*"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if isinstance(node.op, (ast.Mult, ast.FloorDiv, ast.Div, ast.Mod)):
+                table = _GEOMETRY_CONSTANTS
+            elif isinstance(node.op, (ast.LShift, ast.RShift)):
+                table = _SHIFT_CONSTANTS
+            else:
+                continue
+            for side, other in (
+                (node.left, node.right), (node.right, node.left),
+            ):
+                if _is_unit_reference(other):
+                    continue
+                if (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, int)
+                    and not isinstance(side.value, bool)
+                    and side.value in table
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        side,
+                        f"magic number {side.value} in address/size "
+                        f"arithmetic; use {table[side.value]} so geometry "
+                        f"stays consistent across layers",
+                    )

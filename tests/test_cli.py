@@ -103,6 +103,63 @@ class TestCliCommands:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "2 protocol tables" in out
+
+    def test_lint_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "src/repro", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["tables_checked"] == 2
+        assert all("fingerprint" in f for f in payload["findings"])
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "ORD001", "UNIT001", "STAT001",
+                        "MUT001", "PROTO001", "PROTO004"):
+            assert rule_id in out
+
+    def test_lint_flags_fresh_findings(self, capsys, tmp_path):
+        bad = tmp_path / "src" / "repro_like.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nstamp = time.time()\n")
+        assert main(["lint", str(bad), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_lint_missing_path(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+
+    def test_lint_write_and_use_baseline(self, capsys, tmp_path):
+        bad = tmp_path / "src" / "legacy.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline),
+            "--write-baseline",
+        ]) == 0
+        capsys.readouterr()
+        # Grandfathered: the same debt no longer fails the run...
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline),
+        ]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # ...but a new finding alongside it still does.
+        bad.write_text(
+            "import random\nx = random.random()\ny = random.randint(0, 3)\n"
+        )
+        assert main([
+            "lint", str(bad), "--baseline", str(baseline),
+        ]) == 1
+        assert "randint" in capsys.readouterr().out
+
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["--version"])

@@ -1,0 +1,237 @@
+"""The static protocol-table analyzer (simcheck's Murphi-compile step)."""
+
+from repro.coherence.messages import MessageType
+from repro.coherence.table import (
+    ProtocolTable,
+    RoleSpec,
+    emit,
+    illegal,
+    t,
+    wait,
+)
+from repro.simcheck.protocol import analyze_repo_tables, analyze_table
+
+REQ = RoleSpec("req", states=("I", "V"), events=("load", "reply"))
+DIR = RoleSpec("dir", states=("I", "V"), events=("rd",))
+
+
+def _rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+def _errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
+def _tiny_table(transitions, roles=(REQ, DIR), name="tiny"):
+    return ProtocolTable(name=name, roles=tuple(roles),
+                         transitions=tuple(transitions))
+
+
+class TestCleanFixture:
+    def test_complete_table_passes(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.RD_REQ, "dir")],
+              waits=[wait(MessageType.DATA, "dir")]),
+            t("req", "V", "reply", "V", consumes=[MessageType.DATA]),
+            illegal("req", "I", "reply", note="no outstanding request"),
+            illegal("req", "V", "load", note="hit, no fabric traffic"),
+            t("dir", "I", "rd", "V",
+              consumes=[MessageType.RD_REQ],
+              emits=[emit(MessageType.DATA, "req")]),
+            t("dir", "V", "rd", "V",
+              consumes=[MessageType.RD_REQ],
+              emits=[emit(MessageType.DATA, "req")]),
+        ])
+        findings = analyze_table(table)
+        assert not _errors(findings)
+        # Only the unused-message note remains.
+        assert _rules(findings) == ["PROTO006"]
+
+
+class TestExhaustiveness:
+    def test_missing_pair_is_flagged(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.RD_REQ, "dir")]),
+            # (req, I, reply), (req, V, *) and (dir, V, rd) all missing.
+            t("dir", "I", "rd", "V", consumes=[MessageType.RD_REQ]),
+        ])
+        findings = _errors(analyze_table(table))
+        assert "PROTO001" in _rules(findings)
+        messages = " ".join(f.message for f in findings)
+        assert "(req, I, reply)" in messages
+        assert "(dir, V, rd)" in messages
+
+    def test_illegal_declaration_counts_as_covered(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V"),
+            illegal("req", "I", "reply"),
+            illegal("req", "V", "load"),
+            illegal("req", "V", "reply"),
+            illegal("dir", "I", "rd"),
+            illegal("dir", "V", "rd"),
+        ])
+        findings = analyze_table(table)
+        assert "PROTO001" not in _rules(findings)
+
+
+class TestDeterminism:
+    def test_unguarded_duplicate_is_ambiguous(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V"),
+            t("req", "I", "load", "I"),  # same stimulus, no guards
+        ])
+        findings = _errors(analyze_table(table))
+        ambiguous = [f for f in findings if f.rule == "PROTO002"]
+        assert len(ambiguous) == 1
+        assert "(req, I, load)" in ambiguous[0].message
+
+    def test_duplicate_guards_are_ambiguous(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V", guard="migrated"),
+            t("req", "I", "load", "I", guard="migrated"),
+        ])
+        assert "PROTO002" in _rules(_errors(analyze_table(table)))
+
+    def test_distinct_guards_are_deterministic(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V", guard="line_home"),
+            t("req", "I", "load", "I", guard="line_migrated"),
+        ])
+        assert "PROTO002" not in _rules(analyze_table(table))
+
+
+class TestClosure:
+    def test_orphan_emit_is_flagged(self):
+        table = _tiny_table([
+            # req emits INV to dir, but no dir transition consumes INV.
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.INV, "dir")]),
+            t("dir", "I", "rd", "V", consumes=[MessageType.RD_REQ]),
+        ])
+        orphans = [
+            f for f in _errors(analyze_table(table)) if f.rule == "PROTO003"
+        ]
+        assert len(orphans) == 1
+        assert "INV" in orphans[0].message
+        assert "orphaned" in orphans[0].message
+
+    def test_wait_without_producer_is_flagged(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              waits=[wait(MessageType.DATA, "dir")]),
+            t("dir", "I", "rd", "V"),  # never emits DATA
+        ])
+        unsatisfied = [
+            f for f in _errors(analyze_table(table)) if f.rule == "PROTO003"
+        ]
+        assert len(unsatisfied) == 1
+        assert "never be satisfied" in unsatisfied[0].message
+
+    def test_wait_counts_as_consumption(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.RD_REQ, "dir")],
+              waits=[wait(MessageType.DATA, "dir")]),
+            t("dir", "I", "rd", "V",
+              consumes=[MessageType.RD_REQ],
+              emits=[emit(MessageType.DATA, "req")]),
+        ])
+        assert "PROTO003" not in _rules(analyze_table(table))
+
+
+class TestWaitCycles:
+    def test_static_deadlock_is_flagged(self):
+        # req stalls on DATA from dir; dir's only DATA-producing
+        # transition itself stalls on ACK from req; req's only
+        # ACK-producing transition is the stalled one.  Classic cycle.
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.ACK, "dir")],
+              waits=[wait(MessageType.DATA, "dir")]),
+            t("dir", "I", "rd", "V",
+              emits=[emit(MessageType.DATA, "req")],
+              waits=[wait(MessageType.ACK, "req")]),
+        ])
+        cycles = [
+            f for f in _errors(analyze_table(table)) if f.rule == "PROTO004"
+        ]
+        assert len(cycles) == 1
+        assert "wait-for cycle" in cycles[0].message
+
+    def test_nonblocking_producer_breaks_the_cycle(self):
+        table = _tiny_table([
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.ACK, "dir")],
+              waits=[wait(MessageType.DATA, "dir")]),
+            # DATA comes from a transition that does not block.
+            t("dir", "I", "rd", "V",
+              consumes=[MessageType.ACK],
+              emits=[emit(MessageType.DATA, "req")]),
+        ])
+        assert "PROTO004" not in _rules(analyze_table(table))
+
+
+class TestStructure:
+    def test_unknown_state_and_role(self):
+        table = _tiny_table([
+            t("req", "I", "load", "Z"),  # Z is not a req state
+            t("ghost", "I", "load", "V"),  # ghost is not a role
+        ])
+        findings = _errors(analyze_table(table))
+        assert _rules(findings) == ["PROTO005"]
+        # Structural breakage suppresses the deeper (noisier) checks.
+        assert all(f.rule == "PROTO005" for f in findings)
+
+    def test_unknown_event_and_emit_target(self):
+        table = _tiny_table([
+            t("req", "I", "poke", "V"),  # poke is not a req event
+            t("req", "I", "load", "V",
+              emits=[emit(MessageType.RD_REQ, "nowhere")]),
+        ])
+        messages = " ".join(
+            f.message for f in _errors(analyze_table(table))
+        )
+        assert "poke" in messages
+        assert "nowhere" in messages
+
+
+class TestRealTables:
+    def test_base_and_pipm_tables_are_clean(self):
+        findings, checked = analyze_repo_tables(".")
+        assert sorted(checked) == ["cxl-dsm-msi", "pipm"]
+        assert not _errors(findings)
+
+    def test_findings_point_at_the_defining_modules(self):
+        findings, _ = analyze_repo_tables(".")
+        paths = {f.path for f in findings}
+        assert paths <= {
+            "src/repro/coherence/base_protocol.py",
+            "src/repro/coherence/pipm_protocol.py",
+        }
+        assert all(f.line > 1 for f in findings)
+
+    def test_module_filter(self):
+        findings, checked = analyze_repo_tables(
+            ".", ["src/repro/coherence/pipm_protocol.py"]
+        )
+        assert checked == ["pipm"]
+
+    def test_pipm_table_models_the_migration_states(self):
+        from repro.coherence.pipm_protocol import TRANSITION_TABLE
+
+        host = TRANSITION_TABLE.role("host")
+        device = TRANSITION_TABLE.role("device")
+        assert "ME" in host.states
+        assert "I_MIG" in device.states
+        # Case 4: an ME eviction is purely local (no fabric messages).
+        rows = TRANSITION_TABLE.by_stimulus()[("host", "ME", "evict")]
+        assert all(not row.emits and not row.waits for row in rows)
+        # Cases 2/5/6: inter-host access to a migrated line migrates back.
+        mig_back = [
+            row for row in TRANSITION_TABLE.transitions
+            if any(e.msg.name == "MIG_BACK" for e in row.emits)
+        ]
+        assert len(mig_back) >= 3
