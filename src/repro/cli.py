@@ -4,8 +4,11 @@ Commands
 --------
 ``run``       simulate one (workload, scheme) pair and print the summary
 ``compare``   run several schemes on one workload, normalized to Native
-``sweep``     fan a (workload x scheme x variant) matrix across a process
-              pool into the shared result cache
+``sweep``     fan a (workload x scheme x variant) matrix across supervised
+              workers into the shared result cache (crash-isolated,
+              resumable)
+``soak``      randomized chaos testing under the fail-fast invariant
+              watchdog, with failing-schedule minimization
 ``check``     model-check the coherence protocols (the Murphi step)
 ``lint``      static determinism/unit lints + protocol-table analysis
 ``workloads`` print the Table 1 inventory
@@ -109,6 +112,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "--require-all-hits", action="store_true",
         help="exit non-zero unless every spec was a cache hit "
              "(CI regression guard)",
+    )
+    sweep.add_argument(
+        "--timeout-s", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout; a worker running past it is killed and "
+             "recorded as a timeout (default: none)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="re-attempts per spec after a failure/timeout (default: 0)",
+    )
+    sweep.add_argument(
+        "--backoff-s", type=float, default=0.25,
+        help="base retry backoff; doubles per re-attempt (default: 0.25)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip specs the sweep journal records as completed; "
+             "re-attempt only failed/missing specs",
+    )
+    sweep.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any spec failed after its retries "
+             "(the default reports failures but exits 0)",
+    )
+
+    soak = sub.add_parser(
+        "soak",
+        help="randomized chaos testing with failing-schedule minimization",
+        description=(
+            "Draw randomized fault schedules and workload/scheme pairs "
+            "from one seed, run each under the invariant watchdog in "
+            "fail-fast mode, and on any violation or crash delta-debug "
+            "the schedule down to a minimal reproducer JSON.  "
+            "'soak --replay <file>' re-executes a reproducer "
+            "deterministically."
+        ),
+    )
+    soak.add_argument("--seed", type=int, default=0,
+                      help="soak seed; every draw derives from it")
+    soak.add_argument("--trials", type=int, default=20,
+                      help="maximum trials to run (default: 20)")
+    soak.add_argument(
+        "--budget-s", type=float, default=120.0,
+        help="wall-clock budget; no new trial starts past it "
+             "(0 = unlimited; default: 120)",
+    )
+    soak.add_argument("--scale", default="tiny",
+                      choices=("tiny", "small", "default"),
+                      help="workload scale per trial (default: tiny)")
+    soak.add_argument("--hosts", type=int, default=4)
+    soak.add_argument("--workloads", default="pr,ycsb",
+                      help="comma-separated workload pool to draw from")
+    soak.add_argument("--schemes", default="pipm,memtis",
+                      help="comma-separated scheme pool to draw from")
+    soak.add_argument(
+        "--sabotage-rate", type=float, default=0.0, metavar="P",
+        help="probability a trial includes a deliberately botched "
+             "rollback (self-test of the detection pipeline; default: 0)",
+    )
+    soak.add_argument(
+        "--minimize-budget", type=int, default=32,
+        help="max re-simulations delta debugging may spend (default: 32)",
+    )
+    soak.add_argument(
+        "--artifact-dir", default="soak-artifacts",
+        help="where reproducer JSONs are written (default: soak-artifacts)",
+    )
+    soak.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-execute a reproducer artifact instead of soaking; "
+             "exits 0 iff the recorded failure reproduces",
+    )
+    soak.add_argument(
+        "--expect-failure", action="store_true",
+        help="invert the exit code: succeed only if a failure was found "
+             "and its reproducer replay-verified (pipeline self-test)",
     )
 
     check = sub.add_parser("check", help="model-check the protocols")
@@ -257,20 +336,44 @@ def _cmd_sweep(args) -> int:
         f"across {workers} worker{'s' if workers != 1 else ''} "
         f"-> {cache_dir}"
     )
-    summary = SweepRunner(specs, cache_dir, workers=workers).run(
-        progress=print
+    runner = SweepRunner(
+        specs, cache_dir, workers=workers,
+        timeout_s=args.timeout_s, retries=args.retries,
+        backoff_s=args.backoff_s, resume=args.resume,
     )
+    try:
+        summary = runner.run(progress=print)
+    except KeyboardInterrupt:
+        print("\ninterrupted: workers stopped, orphan temp files removed; "
+              "re-run with --resume to continue", file=sys.stderr)
+        return 130
     hit_pct = f"{summary.hit_rate:.0%}"
-    print(
+    line = (
         f"done: {summary.runs} runs, {summary.hits} cache hits ({hit_pct}), "
-        f"{summary.misses} simulated; wall {summary.wall_s:.2f}s, "
-        f"work {summary.work_s:.2f}s"
+        f"{summary.misses} simulated"
+    )
+    if summary.failed:
+        line += f", {summary.failed} FAILED"
+    if summary.retried:
+        line += f", {summary.retried} retried"
+    if summary.skipped:
+        line += f", {summary.skipped} resumed"
+    line += (
+        f"; wall {summary.wall_s:.2f}s, work {summary.work_s:.2f}s"
         + (
             f" ({summary.work_s / summary.wall_s:.2f}x parallel efficiency)"
             if summary.wall_s > 0
             else ""
         )
     )
+    print(line)
+    for failure in summary.failures:
+        tail = failure.error.strip().splitlines()
+        print(
+            f"  failed: {failure.label} [{failure.status}] after "
+            f"{failure.attempts} attempt(s): {tail[-1] if tail else '?'}",
+            file=sys.stderr,
+        )
     if args.require_all_hits and summary.misses:
         print(
             f"error: --require-all-hits, but {summary.misses} specs "
@@ -278,7 +381,76 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.strict and summary.failed:
+        print(
+            f"error: --strict, and {summary.failed} spec(s) failed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_soak(args) -> int:
+    from .soak import SoakHarness, replay_artifact
+
+    if args.replay is not None:
+        reproduced, actual = replay_artifact(args.replay)
+        if reproduced:
+            print(f"reproduced: {actual.exc_type} "
+                  f"[{', '.join(actual.kinds) or 'crash'}] — "
+                  f"{actual.message[:120]}")
+            return 0
+        if actual is None:
+            print("did NOT reproduce: the replayed run completed cleanly",
+                  file=sys.stderr)
+        else:
+            print(f"did NOT reproduce the recorded failure; got "
+                  f"{actual.exc_type}: {actual.message[:120]}",
+                  file=sys.stderr)
+        return 1
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    unknown = sorted(set(workloads) - set(workload_names()))
+    if unknown:
+        print(f"error: unknown workloads {unknown}", file=sys.stderr)
+        return 2
+    harness = SoakHarness(
+        seed=args.seed,
+        trials=args.trials,
+        budget_s=args.budget_s,
+        scale=args.scale,
+        num_hosts=args.hosts,
+        workloads=workloads,
+        schemes=schemes,
+        sabotage_rate=args.sabotage_rate,
+        minimize_budget=args.minimize_budget,
+        artifact_dir=args.artifact_dir,
+    )
+    print(
+        f"soak: seed {args.seed}, up to {args.trials} trial(s) in "
+        f"{args.budget_s:g}s, scale {args.scale}, "
+        f"workloads {','.join(workloads)}, schemes {','.join(schemes)}"
+        + (f", sabotage rate {args.sabotage_rate:g}"
+           if args.sabotage_rate else "")
+    )
+    report = harness.run(progress=print)
+    if report.clean:
+        print(f"clean: {report.trials_run} trial(s) survived "
+              f"({report.wall_s:.1f}s)")
+        return 1 if args.expect_failure else 0
+    sig = report.signature
+    print(
+        f"failure at trial {report.trial_index}: {sig.exc_type} "
+        f"[{', '.join(sig.kinds) or 'crash'}]; schedule minimized "
+        f"{report.original_clause_count} -> {len(report.minimal_clauses)} "
+        f"clause(s) in {report.minimize_evaluations} evaluation(s); "
+        f"reproducer: {report.artifact_path} "
+        f"(replay {'verified' if report.replay_verified else 'FAILED'})"
+    )
+    if args.expect_failure:
+        return 0 if report.replay_verified else 1
+    return 2
 
 
 def _cmd_check(args) -> int:
@@ -325,6 +497,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "soak": _cmd_soak,
     "check": _cmd_check,
     "lint": _cmd_lint,
     "workloads": _cmd_workloads,

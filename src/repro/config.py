@@ -175,6 +175,12 @@ class FaultConfig:
     poison_count: int = 0
     poison_period_ns: float = 0.0  # event k fires at (k+1) * period
     poison_penalty_ns: float = 500.0  # scrub/re-fetch charge on access
+    # -- deliberate corruption (chaos/soak testing only) -------------------
+    #: Number of migration rollbacks to deliberately botch: the global
+    #: remap entry is restored but the owner's local entry is not, leaving
+    #: cluster state inconsistent on purpose so the invariant watchdog's
+    #: detection path can be exercised end-to-end.  Never set by presets.
+    rollback_sabotage_count: int = 0
     # -- invariant watchdog ------------------------------------------------
     watchdog_period_ns: float = 0.0  # 0 = post-run audit only
     watchdog_mode: str = "log"  # "log" or "fail-fast"
@@ -241,11 +247,29 @@ class FaultConfig:
                 f"watchdog_mode must be 'log' or 'fail-fast', "
                 f"got {self.watchdog_mode!r}"
             )
+        if self.rollback_sabotage_count < 0:
+            raise ValueError("rollback_sabotage_count must be non-negative")
         for knob in ("retry_backoff_ns", "giveup_penalty_ns", "stall_period_ns",
                      "stall_duration_ns", "poison_period_ns",
                      "poison_penalty_ns", "watchdog_period_ns"):
             if getattr(self, knob) < 0:
                 raise ValueError(f"{knob} must be non-negative")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultConfig":
+        """Rebuild a config from ``dataclasses.asdict`` output.
+
+        JSON round-trips turn the host tuples into lists; normalise them
+        back so rebuilt configs hash/compare identically to the original.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        values = {k: v for k, v in data.items() if k in known}
+        for key in ("degrade_hosts", "stall_hosts"):
+            if key in values:
+                values[key] = tuple(int(h) for h in values[key])
+        config = cls(**values)
+        config.validate()
+        return config
 
     @classmethod
     def parse(cls, spec: str) -> "FaultConfig":
@@ -370,6 +394,44 @@ class SystemConfig:
         )
 
     # ------------------------------------------------------------------
+    #: Nested dataclass type for each structured field, used by
+    #: :meth:`from_dict` to rebuild a config from JSON.
+    _NESTED_TYPES = {
+        "core": CoreConfig,
+        "l1": CacheConfig,
+        "llc": CacheConfig,
+        "local_dram": DramConfig,
+        "cxl_dram": DramConfig,
+        "cxl_link": CxlLinkConfig,
+        "directory": DirectoryConfig,
+        "pipm": PipmConfig,
+        "kernel": KernelMigrationConfig,
+    }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from ``dataclasses.asdict`` output.
+
+        The inverse of the serialisation used by experiment specs and soak
+        reproducer artifacts: ``SystemConfig.from_dict(asdict(cfg)) == cfg``.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        values: Dict[str, Any] = {}
+        for key, raw in data.items():
+            if key not in known:
+                continue
+            if key in cls._NESTED_TYPES and isinstance(raw, dict):
+                values[key] = cls._NESTED_TYPES[key](**raw)
+            elif key == "faults":
+                values[key] = (
+                    None if raw is None else FaultConfig.from_dict(raw)
+                )
+            else:
+                values[key] = raw
+        config = cls(**values)
+        config.validate()
+        return config
+
     @classmethod
     def paper(cls) -> "SystemConfig":
         """The paper's Table 2 configuration, verbatim."""

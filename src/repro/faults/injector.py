@@ -33,6 +33,7 @@ class FaultCounters:
     migration_timeouts: int = 0  # aborts caused by the transfer timeout
     rollbacks: int = 0  # remap-table snapshots restored
     degraded_skips: int = 0  # migration-policy work skipped on a degraded link
+    sabotaged_rollbacks: int = 0  # rollbacks deliberately botched (chaos)
     host_stall_ns: float = 0.0  # simulated time lost to host pauses
     poison_recoveries: int = 0  # poisoned-line scrub-and-refetch events
     recovery_ns: float = 0.0  # latency charged to fault recovery
@@ -99,6 +100,8 @@ class FaultInjector:
         self.has_poison = bool(self._poison_queue)
         self.poison_penalty_ns = plan.config.poison_penalty_ns
         self.migration_timeout_ns = plan.config.migration_timeout_ns
+        # -- deliberate corruption (chaos/soak testing) ------------------
+        self._sabotage_remaining = plan.rollback_sabotage_budget
 
     # -- links -----------------------------------------------------------
     def link(self, host: int) -> Optional[LinkFaultModel]:
@@ -143,3 +146,17 @@ class FaultInjector:
         self.poisoned.discard(line)
         self.counters.poison_recoveries += 1
         self.counters.recovery_ns += self.poison_penalty_ns
+
+    # -- deliberate corruption (chaos/soak testing) -----------------------
+    def consume_rollback_sabotage(self) -> bool:
+        """True when the next migration rollback should be botched.
+
+        Each call consumes one unit of the plan's sabotage budget; the
+        caller corrupts the transaction before rolling back so the
+        invariant watchdog has a real inconsistency to detect.
+        """
+        if self._sabotage_remaining <= 0:
+            return False
+        self._sabotage_remaining -= 1
+        self.counters.sabotaged_rollbacks += 1
+        return True

@@ -39,6 +39,16 @@ class WatchdogError(RuntimeError):
         )
         self.violations = violations
 
+    @property
+    def kinds(self) -> List[str]:
+        """Violation kinds in audit order — a stable failure signature.
+
+        Soak-harness minimization compares these (not the free-text
+        details, which embed addresses) to decide whether a shrunken
+        schedule reproduces the *same* failure.
+        """
+        return [v.kind for v in self.violations]
+
 
 class InvariantWatchdog:
     """Periodic + post-run consistency auditor for a MultiHostSystem."""

@@ -643,6 +643,19 @@ class MultiHostSystem:
         if exc.reason == "migration timeout":
             counters.migration_timeouts += 1
         if txn is not None:
+            if txn.local_entry is not None and (
+                self.injector.consume_rollback_sabotage()
+            ):
+                # Deliberately botched recovery (chaos/soak testing): drop
+                # the local-side snapshot so the rollback restores the
+                # global remap entry but not the owner's local entry/frame,
+                # leaving exactly the cross-table inconsistency the
+                # invariant watchdog exists to catch.
+                import dataclasses
+
+                txn = dataclasses.replace(
+                    txn, local_entry=None, cache_resident=False
+                )
             self.engine.rollback(txn)
             counters.rollbacks += 1
 
@@ -879,6 +892,7 @@ class MultiHostSystem:
                 ("fault_migration_timeouts", c.migration_timeouts),
                 ("fault_rollbacks", c.rollbacks),
                 ("fault_degraded_skips", c.degraded_skips),
+                ("fault_sabotaged_rollbacks", c.sabotaged_rollbacks),
                 ("fault_host_stall_ns", c.host_stall_ns),
                 ("fault_poison_recoveries", c.poison_recoveries),
                 ("fault_recovery_ns", c.recovery_ns),

@@ -1,0 +1,100 @@
+"""Robustness rules: no silently swallowed exceptions.
+
+The resilience layer's whole premise is that failures become *structured
+records* (FailedRun, journal entries, fault counters) rather than
+vanishing.  An ``except Exception: pass`` in simulator code undoes that:
+a worker crash, a torn cache file, or a corrupted table read turns into
+silently wrong results.  ROB001 flags the two swallowing shapes:
+
+* a bare ``except:`` whose body never re-raises — it also eats
+  ``KeyboardInterrupt``/``SystemExit``, so a Ctrl-C'd sweep can hang;
+* ``except Exception`` / ``except BaseException`` (alone or in a tuple)
+  whose body is *only* ``pass``/``...`` — the failure leaves no trace.
+
+Narrow handlers (``except OSError: pass`` around best-effort cleanup)
+are deliberately not flagged: swallowing a *specific* expected error is
+a decision; swallowing *everything* is a bug magnet.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+
+#: Catch-all exception names whose silent swallowing ROB001 flags.
+_BROAD = {"Exception", "BaseException"}
+
+
+def _exception_names(handler: ast.ExceptHandler):
+    """The exception names a handler catches (empty for a bare except)."""
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+        else:
+            names.append("")
+    return names
+
+
+def _body_is_noop(body) -> bool:
+    """True when the handler body does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # a bare ``...`` or docstring-style constant
+        return False
+    return True
+
+
+def _body_reraises(body) -> bool:
+    """True when any statement in the handler (re-)raises."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "ROB001"
+    title = "silently swallowed broad exception"
+    scopes = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _exception_names(node)
+            if not names:  # bare ``except:``
+                if not _body_reraises(node.body):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "bare 'except:' without re-raise also swallows "
+                        "KeyboardInterrupt/SystemExit; catch the specific "
+                        "exception, or record the failure and re-raise",
+                    )
+                continue
+            broad = sorted(set(names) & _BROAD)
+            if broad and _body_is_noop(node.body):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"'except {broad[0]}: pass' makes the failure "
+                    f"disappear; catch the specific exception or turn it "
+                    f"into a structured record (FailedRun, journal entry, "
+                    f"fault counter)",
+                )

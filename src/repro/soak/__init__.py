@@ -1,0 +1,35 @@
+"""Chaos soak harness: randomized fault schedules, fail-fast auditing,
+and delta-debugging minimization of failing schedules.
+
+``python -m repro soak`` composes randomized seeded fault plans
+(:mod:`repro.faults`) with randomized workload/scheme draws, runs them
+under the invariant watchdog in fail-fast mode, and on any violation or
+crash shrinks the failing schedule to a minimal reproducer JSON that
+``soak --replay <file>`` re-executes deterministically.
+"""
+
+from .clauses import FaultClause, build_fault_config, draw_clauses
+from .harness import (
+    ARTIFACT_VERSION,
+    FailureSignature,
+    SoakHarness,
+    SoakReport,
+    SoakTrial,
+    replay_artifact,
+    run_trial,
+)
+from .minimize import ddmin
+
+__all__ = [
+    "FaultClause",
+    "build_fault_config",
+    "draw_clauses",
+    "ARTIFACT_VERSION",
+    "FailureSignature",
+    "SoakHarness",
+    "SoakReport",
+    "SoakTrial",
+    "replay_artifact",
+    "run_trial",
+    "ddmin",
+]

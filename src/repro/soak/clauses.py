@@ -1,0 +1,174 @@
+"""Fault clauses: the composable, minimizable unit of a chaos schedule.
+
+A soak trial's fault plan is a *list of clauses* — one clause per fault
+source (transfer errors, a degraded-link window, host stalls, poisoned
+lines, deliberate rollback sabotage).  Keeping the sources as separate
+list items is what makes delta-debugging meaningful: the minimizer drops
+whole clauses and asks "does the failure still reproduce?", converging on
+the smallest set of fault sources that matter (e.g. a corruption bug that
+needs transfer errors *and* sabotage, but not the stall/poison noise the
+trial also drew).
+
+:func:`build_fault_config` folds a clause list into the scalar
+:class:`~repro.config.FaultConfig` the simulator consumes; the fold is
+deterministic and order-independent so a minimized sub-list builds the
+exact sub-plan it claims to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..config import FaultConfig
+
+#: Clause kinds, in canonical fold order.
+KINDS = ("errors", "degrade", "stall", "poison", "sabotage")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One fault source with its parameters (plain JSON-safe data)."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown clause kind {self.kind!r}; choose from {KINDS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultClause":
+        return cls(kind=data["kind"], params=dict(data.get("params") or {}))
+
+    def describe(self) -> str:
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}({inner})"
+
+
+def build_fault_config(
+    clauses: Sequence[FaultClause],
+    seed: int,
+    watchdog_period_ns: float = 20_000.0,
+    watchdog_mode: str = "fail-fast",
+) -> FaultConfig:
+    """Fold a clause list into one validated :class:`FaultConfig`.
+
+    Clauses of the same kind merge conservatively (max rates, widest
+    window, summed counts) so dropping any clause never *adds* fault
+    pressure — the monotonicity delta debugging relies on.  The watchdog
+    is always armed: a soak run without an auditor proves nothing.
+    """
+    values: Dict[str, Any] = {
+        "seed": seed,
+        "watchdog_period_ns": watchdog_period_ns,
+        "watchdog_mode": watchdog_mode,
+    }
+    for clause in clauses:
+        p = clause.params
+        if clause.kind == "errors":
+            values["transfer_error_rate"] = max(
+                values.get("transfer_error_rate", 0.0),
+                float(p.get("transfer_error_rate", 0.0)),
+            )
+            if "max_attempts" in p:
+                values["max_attempts"] = int(p["max_attempts"])
+            if "migration_timeout_ns" in p:
+                values["migration_timeout_ns"] = float(
+                    p["migration_timeout_ns"]
+                )
+        elif clause.kind == "degrade":
+            values["degrade_start_ns"] = min(
+                values.get("degrade_start_ns", float("inf")),
+                float(p.get("start_ns", 0.0)),
+            )
+            values["degrade_end_ns"] = max(
+                values.get("degrade_end_ns", 0.0),
+                float(p.get("end_ns", 0.0)),
+            )
+            values["degrade_latency_x"] = max(
+                values.get("degrade_latency_x", 1.0),
+                float(p.get("latency_x", 1.0)),
+            )
+            values["degrade_bandwidth_x"] = max(
+                values.get("degrade_bandwidth_x", 1.0),
+                float(p.get("bandwidth_x", 1.0)),
+            )
+            hosts = set(values.get("degrade_hosts", ()))
+            hosts.update(int(h) for h in p.get("hosts", ()))
+            values["degrade_hosts"] = tuple(sorted(hosts))
+        elif clause.kind == "stall":
+            period = float(p.get("period_ns", 0.0))
+            if period > 0:
+                values["stall_period_ns"] = min(
+                    values.get("stall_period_ns", float("inf")), period
+                )
+            values["stall_duration_ns"] = max(
+                values.get("stall_duration_ns", 0.0),
+                float(p.get("duration_ns", 0.0)),
+            )
+            hosts = set(values.get("stall_hosts", ()))
+            hosts.update(int(h) for h in p.get("hosts", ()))
+            values["stall_hosts"] = tuple(sorted(hosts))
+        elif clause.kind == "poison":
+            values["poison_count"] = values.get("poison_count", 0) + int(
+                p.get("count", 0)
+            )
+            period = float(p.get("period_ns", 0.0))
+            if period > 0:
+                values["poison_period_ns"] = min(
+                    values.get("poison_period_ns", float("inf")), period
+                )
+        elif clause.kind == "sabotage":
+            values["rollback_sabotage_count"] = values.get(
+                "rollback_sabotage_count", 0
+            ) + int(p.get("count", 1))
+    config = FaultConfig(**values)
+    config.validate()
+    return config
+
+
+def draw_clauses(rng, sabotage_rate: float = 0.0) -> List[FaultClause]:
+    """Draw one trial's randomized clause list from ``rng``.
+
+    Parameter ranges are calibrated to tiny/small scaled runs (hundreds
+    of microseconds of simulated time) so every drawn window actually
+    overlaps the run.  ``sabotage_rate`` is the probability of including
+    a deliberate-corruption clause — zero for real chaos testing (random
+    faults must never corrupt state), nonzero to self-test the
+    detection/minimization pipeline.
+    """
+    clauses: List[FaultClause] = []
+    if rng.random() < 0.9:
+        clauses.append(FaultClause("errors", {
+            "transfer_error_rate": round(10 ** rng.uniform(-3.0, -0.5), 6),
+            "max_attempts": rng.randint(2, 4),
+        }))
+    if rng.random() < 0.5:
+        start = rng.uniform(0.0, 3e5)
+        clauses.append(FaultClause("degrade", {
+            "start_ns": round(start, 1),
+            "end_ns": round(start + rng.uniform(1e5, 1e6), 1),
+            "latency_x": round(rng.uniform(2.0, 8.0), 2),
+            "bandwidth_x": round(rng.uniform(2.0, 8.0), 2),
+        }))
+    if rng.random() < 0.4:
+        clauses.append(FaultClause("stall", {
+            "period_ns": round(rng.uniform(5e4, 2e5), 1),
+            "duration_ns": round(rng.uniform(1e4, 5e4), 1),
+        }))
+    if rng.random() < 0.4:
+        clauses.append(FaultClause("poison", {
+            "count": rng.randint(4, 32),
+            "period_ns": round(rng.uniform(5e3, 5e4), 1),
+        }))
+    if rng.random() < sabotage_rate:
+        clauses.append(FaultClause("sabotage", {
+            "count": rng.randint(1, 3),
+        }))
+    return clauses

@@ -1,0 +1,70 @@
+"""Delta debugging: shrink a failing schedule to a 1-minimal one.
+
+Zeller's ``ddmin`` over an abstract item list: partition the failing
+list into chunks, try removing each chunk's complement... more precisely,
+try each *complement* (the list with one chunk removed); if any
+complement still fails, recurse on it with coarser granularity, otherwise
+refine the partition.  Termination: the result is 1-minimal — removing
+any single remaining item makes the failure disappear — unless the
+evaluation budget ran out first (each ``still_fails`` call here is a full
+simulation, so the budget is wall-clock insurance).
+
+The predicate receives a candidate *sub-list* (order preserved) and must
+return True iff the original failure still reproduces under it.
+Monotonicity is not required for correctness of the "still fails" claim —
+the returned list is always one that passed the predicate — only for the
+minimal result to be unique.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    still_fails: Callable[[List[T]], bool],
+    budget: int = 64,
+) -> Tuple[List[T], int]:
+    """Shrink ``items`` (a known-failing list) to a 1-minimal failing list.
+
+    Returns ``(minimal_items, evaluations_used)``.  ``items`` itself is
+    assumed failing and is never re-evaluated; an exhausted ``budget``
+    returns the best (smallest) failing list found so far.
+    """
+    if budget < 1:
+        return list(items), 0
+    current: List[T] = list(items)
+    evaluations = 0
+    if not current:
+        return current, evaluations
+    # Degenerate fast path: does the empty schedule fail on its own?
+    # (A failure that needs no clauses at all is a plain crash; report
+    # the empty list so the artifact says exactly that.)
+    evaluations += 1
+    if still_fails([]):
+        return [], evaluations
+    granularity = 2
+    while len(current) >= 2 and evaluations < budget:
+        chunk = max(1, len(current) // granularity)
+        complements = [
+            current[:start] + current[start + chunk:]
+            for start in range(0, len(current), chunk)
+        ]
+        reduced = False
+        for complement in complements:
+            if evaluations >= budget:
+                return current, evaluations
+            evaluations += 1
+            if still_fails(complement):
+                current = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break  # 1-minimal: no single removal still fails
+            granularity = min(len(current), granularity * 2)
+    return current, evaluations

@@ -20,16 +20,25 @@ from .matrix import (
     VARIANTS,
     build_matrix,
 )
+from .journal import JournalEntry, SweepJournal
 from .runner import (
     RunOutcome,
     RunReport,
     SweepRunner,
     SweepSummary,
+    executor_pool,
     run_spec,
     stat_gauges,
 )
 from .spec import SPEC_VERSION, ExperimentSpec, canonical_json, content_key
 from .store import ResultStore, atomic_write_bytes, atomic_write_json
+from .supervisor import (
+    FailedRun,
+    Job,
+    JobOutcome,
+    JobSupervisor,
+    SupervisorPolicy,
+)
 from .traces import TraceStore
 
 __all__ = [
@@ -41,8 +50,16 @@ __all__ = [
     "RunReport",
     "SweepRunner",
     "SweepSummary",
+    "executor_pool",
     "run_spec",
     "stat_gauges",
+    "JournalEntry",
+    "SweepJournal",
+    "FailedRun",
+    "Job",
+    "JobOutcome",
+    "JobSupervisor",
+    "SupervisorPolicy",
     "SPEC_VERSION",
     "ExperimentSpec",
     "canonical_json",

@@ -1,43 +1,61 @@
-"""Process-pool sweep runner.
+"""Hardened sweep runner: crash-isolated, resumable spec execution.
 
 Executes a list of :class:`ExperimentSpec` in two phases:
 
 1. **Trace warm-up** — every *unique* trace key in the matrix is
-   generated (or loaded) exactly once, in parallel, into the shared
-   on-disk :class:`~repro.sweep.traces.TraceStore`.  Workers in phase 2
-   then load traces from disk instead of re-synthesizing them.
-2. **Simulation fan-out** — specs run across a
-   :class:`~concurrent.futures.ProcessPoolExecutor`; each worker checks
-   the content-addressed :class:`~repro.sweep.store.ResultStore` first
-   and publishes its result atomically, so concurrent workers (and
-   concurrent sweep invocations) never corrupt or clobber the cache.
+   generated (or loaded) exactly once into the shared on-disk
+   :class:`~repro.sweep.traces.TraceStore`.  Workers in phase 2 then
+   load traces from disk instead of re-synthesizing them.
+2. **Simulation fan-out** — specs run under a
+   :class:`~repro.sweep.supervisor.JobSupervisor`: one supervised
+   process per attempt, with a configurable per-job timeout, bounded
+   retry with exponential backoff, and crash isolation.  A worker that
+   raises, hangs, or is killed by the OS becomes a structured
+   :class:`~repro.sweep.supervisor.FailedRun` on the summary instead of
+   aborting the sweep.  Each worker checks the content-addressed
+   :class:`~repro.sweep.store.ResultStore` first and publishes its
+   result atomically, so concurrent workers (and concurrent sweep
+   invocations) never corrupt or clobber the cache.
 
-``workers=1`` runs everything in-process with no pool — the serial
-reference path.  Because specs are content-hashed and entries are
-serialized deterministically, the parallel path produces byte-identical
-cache files to the serial one.
+Every per-spec outcome — including failures — is journalled to an
+append-only sidecar (:class:`~repro.sweep.journal.SweepJournal`) next to
+the result store, so a killed or Ctrl-C'd sweep can be resumed
+(``resume=True``): specs the journal shows as completed (and whose
+results are present) are skipped; failed or never-attempted specs are
+re-attempted.  On KeyboardInterrupt the runner tears its workers down,
+removes orphaned cache temp files, and re-raises.
 
-Per-run wall clock and cache-hit status are reported per spec, and
-worker-side statistics snapshots are folded into one registry with the
+``workers=1`` with no timeout runs everything in-process with no child
+processes — the serial reference path (failures are still isolated per
+spec).  Because specs are content-hashed and entries are serialized
+deterministically, the parallel path produces byte-identical cache files
+to the serial one.
+
+Worker-side statistics snapshots are folded into one registry with the
 counter/gauge-aware :meth:`~repro.stats.StatRegistry.merge` (summing a
 hit *rate* or a ``freq_ghz`` echo across workers would be nonsense).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..policies import make_scheme
 from ..sim.engine import simulate
 from ..sim.results import SimulationResult
 from ..stats import StatRegistry
+from .journal import SweepJournal
 from .spec import ExperimentSpec
 from .store import ResultStore
+from .supervisor import FailedRun, Job, JobSupervisor, SupervisorPolicy
 from .traces import TraceStore
 
 #: ``SimulationResult.stats`` keys with gauge (non-additive) semantics.
@@ -55,7 +73,14 @@ def stat_gauges(stats: Dict[str, float]) -> List[str]:
 
 @dataclass(frozen=True)
 class RunReport:
-    """What one spec execution looked like (for the CLI's per-run lines)."""
+    """What one spec execution looked like (for the CLI's per-run lines).
+
+    ``status`` is ``ok`` (ran or cache hit) or ``retried`` (succeeded
+    after at least one failed attempt); failed specs never produce a
+    report — they produce a :class:`FailedRun` on the summary instead.
+    ``attempts == 0`` marks a spec skipped by resume (journalled as
+    complete by an earlier invocation).
+    """
 
     key: str
     label: str
@@ -64,6 +89,8 @@ class RunReport:
     cache_hit: bool
     elapsed_s: float
     exec_time_ns: float
+    status: str = "ok"
+    attempts: int = 1
 
 
 @dataclass
@@ -79,6 +106,7 @@ class SweepSummary:
     """Aggregate of one sweep invocation."""
 
     reports: List[RunReport] = field(default_factory=list)
+    failures: List[FailedRun] = field(default_factory=list)
     trace_reports: List[Tuple[str, bool, float]] = field(default_factory=list)
     wall_s: float = 0.0
     stats: Dict[str, float] = field(default_factory=dict)
@@ -98,6 +126,24 @@ class SweepSummary:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.runs if self.runs else 0.0
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def retried(self) -> int:
+        """Specs that succeeded only after at least one failed attempt."""
+        return sum(1 for r in self.reports if r.status == "retried")
+
+    @property
+    def skipped(self) -> int:
+        """Specs skipped by resume (journalled complete earlier)."""
+        return sum(1 for r in self.reports if r.attempts == 0)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     @property
     def work_s(self) -> float:
@@ -148,6 +194,22 @@ def run_spec(
     )
 
 
+@contextmanager
+def executor_pool(max_workers: int):
+    """A ProcessPoolExecutor that never leaks workers.
+
+    Unlike the executor's own context manager (which only waits), the
+    exit path cancels queued futures before waiting, so an interrupt or
+    exception mid-phase stops dispatching new work and still reaps every
+    worker process.
+    """
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        yield pool
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 # ----------------------------------------------------------------------
 # Pool workers (top-level so they pickle under any start method).
 # ----------------------------------------------------------------------
@@ -179,22 +241,36 @@ def _run_spec_worker(
 
 
 class SweepRunner:
-    """Fan a spec matrix across a process pool (or run it serially)."""
+    """Fan a spec matrix across supervised workers (or run it serially)."""
 
     def __init__(
         self,
         specs: Sequence[ExperimentSpec],
         cache_dir: Union[str, Path],
         workers: int = 1,
+        *,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+        backoff_s: float = 0.25,
+        resume: bool = False,
+        use_journal: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = one per CPU)")
         self.specs = list(specs)
         self.cache_dir = str(cache_dir)
         self.workers = workers or (os.cpu_count() or 1)
+        self.policy = SupervisorPolicy(
+            timeout_s=timeout_s, retries=retries, backoff_s=backoff_s
+        )
+        self.policy.validate()
+        self.resume = resume
+        self.use_journal = use_journal
 
     # ------------------------------------------------------------------
-    def _unique_traces(self) -> List[Tuple[str, int, int, object, str]]:
+    def _unique_traces(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[Tuple[str, int, int, object, str]]:
         """Trace tasks for specs that will actually simulate.
 
         Specs whose result is already cached never touch their trace, so
@@ -203,7 +279,7 @@ class SweepRunner:
         """
         store = ResultStore(self.cache_dir)
         seen = {}
-        for spec in self.specs:
+        for spec in specs:
             if spec.key() in store:
                 continue
             seen.setdefault(
@@ -226,57 +302,222 @@ class SweepRunner:
         summary = SweepSummary()
         registry = StatRegistry()
         started = perf_counter()
-        if self.workers <= 1:
-            self._run_serial(summary, registry, say)
-        else:
-            self._run_parallel(summary, registry, say)
+        journal = SweepJournal(self.cache_dir) if self.use_journal else None
+        try:
+            todo = self._resume_filter(summary, journal, say)
+            if journal is not None:
+                journal.begin(len(todo))
+            if self.workers <= 1 and self.policy.timeout_s is None:
+                self._run_serial(todo, summary, registry, journal, say)
+            else:
+                self._run_supervised(todo, summary, registry, journal, say)
+        except KeyboardInterrupt:
+            # Workers are already down (supervisor teardown / pool
+            # shutdown); whatever they were mid-publish is an orphan.
+            self._purge_temps(say)
+            raise
         summary.wall_s = perf_counter() - started
         summary.stats = registry.snapshot()
         return summary
 
     # ------------------------------------------------------------------
+    def _resume_filter(
+        self,
+        summary: SweepSummary,
+        journal: Optional[SweepJournal],
+        say,
+    ) -> List[ExperimentSpec]:
+        """Drop specs an earlier invocation completed (``resume=True``).
+
+        A spec is skipped only when the journal's last word on it is a
+        success *and* its result file is actually present — a journal
+        that outlived a cleared cache falls back to re-running.
+        """
+        if not self.resume or journal is None:
+            return list(self.specs)
+        outcomes = journal.outcomes()
+        store = ResultStore(self.cache_dir)
+        todo: List[ExperimentSpec] = []
+        for spec in self.specs:
+            key = spec.key()
+            entry = outcomes.get(key)
+            if entry is None or not entry.succeeded or key not in store:
+                todo.append(spec)
+                continue
+            record = store.get_record(key) or {}
+            exec_ns = float(
+                (record.get("result") or {}).get("exec_time_ns", 0.0)
+            )
+            report = RunReport(
+                key=key, label=spec.label(),
+                workload=spec.workload, scheme=spec.scheme,
+                cache_hit=True, elapsed_s=0.0, exec_time_ns=exec_ns,
+                status="ok", attempts=0,
+            )
+            self._note(summary, report, say)
+        return todo
+
+    def _purge_temps(self, say) -> None:
+        removed = ResultStore(self.cache_dir).purge_temp()
+        removed += TraceStore(self.cache_dir).purge_temp()
+        if removed:
+            say(f"  [clean] removed {removed} orphaned temp file(s)")
+
+    # ------------------------------------------------------------------
     def _note(self, summary: SweepSummary, report: RunReport, say) -> None:
         summary.reports.append(report)
-        state = "hit " if report.cache_hit else "run "
+        if report.attempts == 0:
+            state = "skip"
+        elif report.status == "retried":
+            state = "rtry"
+        elif report.cache_hit:
+            state = "hit "
+        else:
+            state = "run "
         say(f"  [{state}] {report.label:<48} {report.elapsed_s:7.2f}s")
 
-    def _run_serial(self, summary, registry, say) -> None:
+    def _note_failure(
+        self,
+        summary: SweepSummary,
+        failure: FailedRun,
+        journal: Optional[SweepJournal],
+        say,
+    ) -> None:
+        summary.failures.append(failure)
+        if journal is not None:
+            journal.record(
+                failure.key, failure.label, failure.status,
+                attempts=failure.attempts, error=failure.error,
+            )
+        reason = failure.error.strip().splitlines()
+        tail = reason[-1] if reason else failure.status
+        say(f"  [FAIL] {failure.label:<48} {failure.elapsed_s:7.2f}s  "
+            f"{failure.status}: {tail}")
+
+    def _note_success(
+        self,
+        summary: SweepSummary,
+        report: RunReport,
+        journal: Optional[SweepJournal],
+        say,
+    ) -> None:
+        if journal is not None:
+            journal.record(
+                report.key, report.label, report.status,
+                attempts=report.attempts, cache_hit=report.cache_hit,
+            )
+        self._note(summary, report, say)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, todo, summary, registry, journal, say) -> None:
         traces = TraceStore(self.cache_dir)
-        for workload, hosts, cores, scale, _dir in self._unique_traces():
+        for workload, hosts, cores, scale, _dir in self._unique_traces(todo):
             t0 = perf_counter()
-            _trace, hit = traces.warm(workload, hosts, cores, scale)
+            try:
+                _trace, hit = traces.warm(workload, hosts, cores, scale)
+            except Exception:
+                # The spec(s) needing this trace will fail with the full
+                # traceback below; don't abort the other workloads.
+                say(f"  [FAIL] trace {workload}")
+                continue
             summary.trace_reports.append(
                 (workload, hit, perf_counter() - t0)
             )
-        for spec in self.specs:
-            outcome = run_spec(spec, self.cache_dir, trace_store=traces)
-            report = outcome.report
-            registry.add("sweep.runs")
-            registry.add("sweep.cache_hits", 1.0 if report.cache_hit else 0.0)
-            registry.add("sweep.sim_seconds", report.elapsed_s)
-            registry.merge(
-                outcome.result.stats, gauges=stat_gauges(outcome.result.stats)
-            )
-            self._note(summary, report, say)
+        for spec in todo:
+            attempt = 0
+            first_started = perf_counter()
+            while True:
+                attempt += 1
+                try:
+                    outcome = run_spec(spec, self.cache_dir,
+                                       trace_store=traces)
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    if attempt <= self.policy.retries:
+                        sleep(self.policy.backoff_for(attempt + 1))
+                        continue
+                    self._note_failure(
+                        summary,
+                        FailedRun(
+                            key=spec.key(), label=spec.label(),
+                            status="failed", attempts=attempt,
+                            error=traceback.format_exc(),
+                            elapsed_s=perf_counter() - first_started,
+                        ),
+                        journal, say,
+                    )
+                    break
+                report = outcome.report
+                if attempt > 1:
+                    report = dataclasses.replace(
+                        report, status="retried", attempts=attempt,
+                        elapsed_s=perf_counter() - first_started,
+                    )
+                registry.add("sweep.runs")
+                registry.add("sweep.cache_hits",
+                             1.0 if report.cache_hit else 0.0)
+                registry.add("sweep.sim_seconds", report.elapsed_s)
+                registry.merge(
+                    outcome.result.stats,
+                    gauges=stat_gauges(outcome.result.stats),
+                )
+                self._note_success(summary, report, journal, say)
+                break
 
-    def _run_parallel(self, summary, registry, say) -> None:
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            # Phase 1: each unique trace generated exactly once.
-            warm = [
-                pool.submit(_warm_trace_worker, task)
-                for task in self._unique_traces()
-            ]
-            for future in as_completed(warm):
-                workload, hit, elapsed = future.result()
-                summary.trace_reports.append((workload, hit, elapsed))
-                state = "trace hit" if hit else "trace gen"
-                say(f"  [{state}] {workload:<43} {elapsed:7.2f}s")
-            # Phase 2: fan the simulations out.
-            futures = [
-                pool.submit(_run_spec_worker, (spec, self.cache_dir))
-                for spec in self.specs
-            ]
-            for future in as_completed(futures):
-                report, snapshot, gauges = future.result()
+    def _run_supervised(self, todo, summary, registry, journal, say) -> None:
+        # Phase 1: each unique trace generated exactly once, in a pool
+        # (short, CPU-bound, no timeout semantics needed).
+        warm_tasks = self._unique_traces(todo)
+        if warm_tasks and self.workers > 1:
+            with executor_pool(self.workers) as pool:
+                warm = [
+                    pool.submit(_warm_trace_worker, task)
+                    for task in warm_tasks
+                ]
+                for future in as_completed(warm):
+                    try:
+                        workload, hit, elapsed = future.result()
+                    except Exception:
+                        continue  # surfaces as a spec failure in phase 2
+                    summary.trace_reports.append((workload, hit, elapsed))
+                    state = "trace hit" if hit else "trace gen"
+                    say(f"  [{state}] {workload:<43} {elapsed:7.2f}s")
+        elif warm_tasks:
+            traces = TraceStore(self.cache_dir)
+            for workload, hosts, cores, scale, _dir in warm_tasks:
+                t0 = perf_counter()
+                try:
+                    _trace, hit = traces.warm(workload, hosts, cores, scale)
+                except Exception:
+                    say(f"  [FAIL] trace {workload}")
+                    continue
+                summary.trace_reports.append(
+                    (workload, hit, perf_counter() - t0)
+                )
+        # Phase 2: supervised fan-out — crash isolation, timeout, retry.
+        supervisor = JobSupervisor(
+            _run_spec_worker, slots=self.workers, policy=self.policy
+        )
+        jobs = [
+            Job(key=spec.key(), label=spec.label(),
+                payload=(spec, self.cache_dir))
+            for spec in todo
+        ]
+        outcomes = supervisor.run(jobs)
+        try:
+            for outcome in outcomes:
+                if not outcome.ok:
+                    self._note_failure(summary, outcome.failure, journal, say)
+                    continue
+                report, snapshot, gauges = outcome.result
+                if outcome.attempts > 1:
+                    report = dataclasses.replace(
+                        report, status="retried", attempts=outcome.attempts,
+                    )
                 registry.merge(snapshot, gauges=gauges)
-                self._note(summary, report, say)
+                self._note_success(summary, report, journal, say)
+        finally:
+            # Deterministic teardown even when the consumer loop dies
+            # (KeyboardInterrupt, a raising progress callback, ...).
+            outcomes.close()

@@ -98,6 +98,30 @@ class ExperimentSpec:
         canonical_json(spec.to_dict())
         return spec
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        The inverse serialisation used by soak reproducer artifacts:
+        ``ExperimentSpec.from_dict(s.to_dict()).key() == s.key()`` —
+        canonical JSON renders tuples and lists identically, so a spec
+        that went through JSON hashes to the same cache entry.
+        """
+        version = data.get("v", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec format v{version} is not supported "
+                f"(this build speaks v{SPEC_VERSION})"
+            )
+        return cls.build(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            config=SystemConfig.from_dict(data["config"]),
+            scale=WorkloadScale(**data["scale"]),
+            scheme_kwargs=data.get("scheme_kwargs") or {},
+            system_kwargs=data.get("system_kwargs") or {},
+        )
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """The canonical (JSON-safe) rendering every key is derived from."""

@@ -129,3 +129,21 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    def purge_temp(self) -> int:
+        """Remove orphaned temp files left by killed/interrupted writers.
+
+        Atomic publication means a temp file only survives when its
+        writer died between ``mkstemp`` and ``os.replace`` (e.g. SIGKILL,
+        Ctrl-C in a worker).  Call with no writers in flight — the sweep
+        runner does so after tearing its workers down on interrupt.
+        """
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob(".*.tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

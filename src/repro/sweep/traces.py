@@ -126,3 +126,18 @@ class TraceStore:
                 except OSError:
                     pass
         return removed
+
+    def purge_temp(self) -> int:
+        """Remove orphaned temp files left by killed/interrupted writers.
+
+        Call with no writers in flight (see ResultStore.purge_temp).
+        """
+        removed = 0
+        if self.traces_dir.is_dir():
+            for path in self.traces_dir.glob(".*.tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -99,6 +99,55 @@ class TestCliCommands:
         capsys.readouterr()
         assert main(argv + ["--require-all-hits"]) == 1
 
+    def test_sweep_failure_reporting_and_strict(self, capsys, tmp_path,
+                                                monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        def explode(trace, scheme, config, **kwargs):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(runner_mod, "simulate", explode)
+        argv = [
+            "sweep", "--workers", "1", "--workloads", "pr",
+            "--schemes", "native", "--scale", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]
+        # Default: failures are reported but do not fail the sweep.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1 FAILED" in captured.out
+        assert "synthetic failure" in captured.err
+        # --strict turns any failed spec into a nonzero exit.
+        assert main(argv + ["--strict"]) == 1
+        assert "--strict" in capsys.readouterr().err
+
+    def test_sweep_resume_skips_completed_specs(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--workers", "1", "--workloads", "pr",
+            "--schemes", "native", "--scale", "tiny",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1 resumed" in out
+
+    def test_soak_clean_run(self, capsys, tmp_path):
+        argv = [
+            "soak", "--seed", "11", "--trials", "2", "--budget-s", "120",
+            "--artifact-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "clean: 2 trial(s) survived" in out
+        # --expect-failure inverts: a clean self-test run is a failure.
+        assert main(argv + ["--expect-failure"]) == 1
+
+    def test_soak_rejects_unknown_workload(self, capsys):
+        code = main(["soak", "--workloads", "doom", "--trials", "1"])
+        assert code == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

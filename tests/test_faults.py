@@ -545,3 +545,67 @@ class TestMessageFaults:
     def test_rejects_certain_loss(self):
         with pytest.raises(ValueError):
             MessageFaultModel(BaseCxlDsmModel(2), error_rate=1.0)
+
+
+# ======================================================================
+# Deliberately botched rollback (soak sabotage) vs the watchdog
+# ======================================================================
+class TestRollbackSabotage:
+    """`rollback-sabotage-count` drops the local-side snapshot before a
+    migration-abort rollback, leaving the page globally mapped to a host
+    whose local table no longer has it — exactly the cross-table
+    inconsistency the invariant watchdog exists to catch."""
+
+    SPEC = ("flaky:transfer-error-rate=0.4,max-attempts=3,seed=3,"
+            "watchdog-period-ns=20000,watchdog-mode={mode},"
+            "rollback-sabotage-count=1")
+
+    def test_fail_fast_catches_botched_rollback(self, scaled_config,
+                                                tiny_pr_trace):
+        config = _with_faults(scaled_config, self.SPEC.format(mode="fail-fast"))
+        system = MultiHostSystem(config, make_scheme("pipm"))
+        with pytest.raises(WatchdogError) as excinfo:
+            SimulationEngine(system, tiny_pr_trace).run()
+        assert "remap" in excinfo.value.kinds
+
+    def test_failure_is_deterministic(self, scaled_config, tiny_pr_trace):
+        spec = self.SPEC.format(mode="fail-fast")
+        kinds = []
+        for _ in range(2):
+            config = _with_faults(scaled_config, spec)
+            system = MultiHostSystem(config, make_scheme("pipm"))
+            with pytest.raises(WatchdogError) as excinfo:
+                SimulationEngine(system, tiny_pr_trace).run()
+            kinds.append(tuple(excinfo.value.kinds))
+        assert kinds[0] == kinds[1]
+
+    def test_log_mode_records_violation_and_stat(self, scaled_config,
+                                                 tiny_pr_trace):
+        config = _with_faults(scaled_config, self.SPEC.format(mode="log"))
+        system = MultiHostSystem(config, make_scheme("pipm"))
+        SimulationEngine(system, tiny_pr_trace).run()  # must not raise
+        assert not system.watchdog.ok
+        assert any(v.kind == "remap" for v in system.watchdog.violations)
+        stats = system.fault_stats()
+        assert stats["fault_sabotaged_rollbacks"] == 1.0
+        assert stats["watchdog_violations"] >= 1.0
+
+    def test_unused_budget_corrupts_nothing(self, scaled_config,
+                                            tiny_pr_trace):
+        """Sabotage piggybacks on aborts: without transfer errors there is
+        no rollback to botch, so the system stays consistent."""
+        config = _with_faults(
+            scaled_config,
+            "none:watchdog-period-ns=20000,watchdog-mode=fail-fast,"
+            "rollback-sabotage-count=5",
+        )
+        system = MultiHostSystem(config, make_scheme("pipm"))
+        SimulationEngine(system, tiny_pr_trace).run()
+        assert system.watchdog.ok
+        assert "fault_sabotaged_rollbacks" not in system.fault_stats()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="rollback_sabotage_count"):
+            dataclasses.replace(
+                FaultConfig(), rollback_sabotage_count=-1
+            ).validate()

@@ -392,3 +392,88 @@ class TestEngineAndBaseline:
         assert len({r.id for r in rules}) == len(rules)
         for rule in rules:
             assert rule.id and rule.title and rule.scopes
+
+
+class TestRobustnessRules:
+    def test_bare_except_flagged_even_with_real_body(self):
+        findings = _lint("""
+            def load(path):
+                try:
+                    return read(path)
+                except:
+                    note("unreadable")
+        """)
+        assert _rules(findings) == ["ROB001"]
+        assert findings[0].line == 5
+
+    def test_broad_noop_handler_flagged(self):
+        findings = _lint("""
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except Exception:
+                    pass
+        """)
+        assert _rules(findings) == ["ROB001"]
+
+    def test_base_exception_ellipsis_flagged(self):
+        findings = _lint("""
+            def poke(conn):
+                try:
+                    conn.send(b"x")
+                except BaseException:
+                    ...
+        """)
+        assert _rules(findings) == ["ROB001"]
+
+    def test_broad_inside_tuple_flagged(self):
+        findings = _lint("""
+            def fetch(url):
+                try:
+                    return get(url)
+                except (ValueError, Exception):
+                    pass
+        """)
+        assert _rules(findings) == ["ROB001"]
+
+    def test_narrow_swallow_not_flagged(self):
+        findings = _lint("""
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        """)
+        assert findings == []
+
+    def test_broad_handler_with_real_body_not_flagged(self):
+        findings = _lint("""
+            def run(job):
+                try:
+                    return job()
+                except Exception as exc:
+                    record_failure(job, exc)
+                    return None
+        """)
+        assert findings == []
+
+    def test_bare_except_with_reraise_not_flagged(self):
+        findings = _lint("""
+            def run(job):
+                try:
+                    return job()
+                except:
+                    release(job)
+                    raise
+        """)
+        assert findings == []
+
+    def test_suppression_comment_honoured(self):
+        findings = _lint("""
+            def cleanup(path):
+                try:
+                    path.unlink()
+                except Exception:  # simcheck: ignore[ROB001]
+                    pass
+        """)
+        assert findings == []

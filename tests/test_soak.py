@@ -1,0 +1,237 @@
+"""Chaos soak harness: clauses, ddmin, signatures, end-to-end minimize."""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.soak import (
+    FailureSignature,
+    FaultClause,
+    SoakHarness,
+    SoakTrial,
+    build_fault_config,
+    ddmin,
+    draw_clauses,
+    replay_artifact,
+    run_trial,
+)
+
+#: The clause schedule verified to corrupt a rollback deterministically:
+#: enough transfer errors to force migration aborts, one sabotaged
+#: rollback that drops the local-side snapshot.
+SABOTAGE_CLAUSES = (
+    FaultClause("errors", {"transfer_error_rate": 0.4, "max_attempts": 3}),
+    FaultClause("sabotage", {"count": 1}),
+)
+
+
+def _sabotage_trial():
+    return SoakTrial(
+        seed=3, workload="pr", scheme="pipm", scale_name="tiny",
+        num_hosts=4, clauses=SABOTAGE_CLAUSES,
+        watchdog_period_ns=20_000.0,
+    )
+
+
+class TestDdmin:
+    def test_finds_minimal_pair(self):
+        minimal, _evals = ddmin(
+            list(range(10)), lambda xs: 3 in xs and 7 in xs
+        )
+        assert sorted(minimal) == [3, 7]
+
+    def test_single_culprit(self):
+        minimal, _evals = ddmin(list(range(8)), lambda xs: 5 in xs)
+        assert minimal == [5]
+
+    def test_empty_schedule_fast_path(self):
+        minimal, evals = ddmin([1, 2, 3], lambda xs: True)
+        assert minimal == []
+        assert evals == 1
+
+    def test_empty_input(self):
+        minimal, evals = ddmin([], lambda xs: True)
+        assert minimal == []
+        assert evals == 0
+
+    def test_budget_bounds_evaluations(self):
+        calls = 0
+
+        def still_fails(items):
+            nonlocal calls
+            calls += 1
+            return 3 in items and 17 in items
+
+        minimal, evals = ddmin(list(range(24)), still_fails, budget=4)
+        assert evals <= 4
+        assert calls == evals
+        # Whatever it returns is a known-failing list (or the original).
+        assert 3 in minimal and 17 in minimal
+
+    def test_result_preserves_order(self):
+        minimal, _evals = ddmin(
+            ["a", "b", "c", "d"], lambda xs: "d" in xs and "b" in xs
+        )
+        assert minimal == ["b", "d"]
+
+
+class TestFaultClauses:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="clause kind"):
+            FaultClause("frobnicate", {})
+
+    def test_round_trip(self):
+        clause = FaultClause("errors", {"transfer_error_rate": 0.1})
+        assert FaultClause.from_dict(clause.to_dict()) == clause
+
+    def test_fold_is_conservative_and_order_independent(self):
+        clauses = [
+            FaultClause("errors", {"transfer_error_rate": 0.1}),
+            FaultClause("errors", {"transfer_error_rate": 0.3,
+                                   "max_attempts": 4}),
+            FaultClause("sabotage", {"count": 2}),
+            FaultClause("sabotage", {"count": 1}),
+        ]
+        config = build_fault_config(clauses, seed=9)
+        assert config.transfer_error_rate == 0.3  # max, not sum
+        assert config.max_attempts == 4
+        assert config.rollback_sabotage_count == 3  # counts sum
+        assert config.seed == 9
+        reversed_cfg = build_fault_config(list(reversed(clauses)), seed=9)
+        assert reversed_cfg == config
+
+    def test_watchdog_always_armed(self):
+        config = build_fault_config([], seed=0)
+        assert config.watchdog_mode == "fail-fast"
+        assert config.watchdog_period_ns == 20_000.0
+
+    def test_draw_clauses_is_seed_deterministic(self):
+        a = draw_clauses(random.Random(42), sabotage_rate=0.5)
+        b = draw_clauses(random.Random(42), sabotage_rate=0.5)
+        assert a == b
+        assert all(c.kind in ("errors", "degrade", "stall", "poison",
+                              "sabotage") for c in a)
+
+    def test_sabotage_only_drawn_when_enabled(self):
+        rng = random.Random(1)
+        drawn = [
+            clause.kind
+            for _ in range(50)
+            for clause in draw_clauses(rng, sabotage_rate=0.0)
+        ]
+        assert "sabotage" not in drawn
+
+
+class TestFailureSignature:
+    def test_matches_ignores_message_text(self):
+        a = FailureSignature("WatchdogError", ("remap",), "page 0xa5")
+        b = FailureSignature("WatchdogError", ("remap",), "page 0xae")
+        assert a.matches(b)
+
+    def test_kind_and_type_mismatches(self):
+        base = FailureSignature("WatchdogError", ("remap",), "")
+        assert not base.matches(None)
+        assert not base.matches(
+            FailureSignature("WatchdogError", ("frames",), "")
+        )
+        assert not base.matches(FailureSignature("ValueError", ("remap",), ""))
+
+    def test_round_trip(self):
+        sig = FailureSignature("WatchdogError", ("remap", "frames"), "msg")
+        assert FailureSignature.from_dict(sig.to_dict()) == sig
+
+
+class TestRunTrial:
+    def test_clean_trial_survives(self):
+        trial = SoakTrial(
+            seed=1, workload="pr", scheme="pipm", scale_name="tiny",
+            num_hosts=4, clauses=(), watchdog_period_ns=20_000.0,
+        )
+        assert run_trial(trial.spec()) is None
+
+    def test_sabotaged_trial_fails_deterministically(self):
+        trial = _sabotage_trial()
+        first = run_trial(trial.spec())
+        second = run_trial(trial.spec())
+        assert first is not None
+        assert first.exc_type == "WatchdogError"
+        assert "remap" in first.kinds
+        assert first.matches(second)
+
+    def test_sub_schedule_without_sabotage_survives(self):
+        """Dropping the sabotage clause removes the failure — the
+        monotonicity the minimizer leans on."""
+        trial = _sabotage_trial()
+        assert run_trial(trial.spec(clauses=SABOTAGE_CLAUSES[:1])) is None
+
+
+class TestSoakHarness:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="trials"):
+            SoakHarness(trials=0, artifact_dir=tmp_path)
+        with pytest.raises(ValueError, match="scale"):
+            SoakHarness(scale="galactic", artifact_dir=tmp_path)
+        with pytest.raises(ValueError, match="sabotage_rate"):
+            SoakHarness(sabotage_rate=1.5, artifact_dir=tmp_path)
+
+    def test_clean_soak_survives(self, tmp_path):
+        report = SoakHarness(
+            seed=11, trials=3, budget_s=300.0, artifact_dir=tmp_path
+        ).run()
+        assert report.clean
+        assert report.trials_run == 3
+        assert report.artifact_path is None
+        assert list(Path(tmp_path).glob("*.json")) == []
+
+    def test_budget_stops_further_trials(self, tmp_path):
+        report = SoakHarness(
+            seed=11, trials=50, budget_s=1e-6, artifact_dir=tmp_path
+        ).run()
+        assert report.trials_run == 1  # budget checked between trials
+
+    def test_sabotage_is_found_minimized_and_replayable(self, tmp_path):
+        """End-to-end self-test: an injected corruption bug is caught by
+        the fail-fast watchdog, the failing schedule shrinks to the
+        clauses that matter, and the emitted artifact replays on its own.
+        """
+        harness = SoakHarness(
+            seed=7, trials=10, budget_s=300.0, schemes=["pipm"],
+            sabotage_rate=1.0, artifact_dir=tmp_path,
+        )
+        report = harness.run()
+        assert report.failure_found
+        assert report.deterministic
+        assert report.signature is not None
+        assert report.signature.exc_type == "WatchdogError"
+        assert "remap" in report.signature.kinds
+        assert 0 < len(report.minimal_clauses) <= report.original_clause_count
+        # The deliberate corruption survives minimization; it is the bug.
+        assert any(c.kind == "sabotage" for c in report.minimal_clauses)
+        assert report.replay_verified
+
+        path = Path(report.artifact_path)
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "soak-reproducer"
+        assert payload["failure"]["exc_type"] == "WatchdogError"
+        assert len(payload["clauses"]) == len(report.minimal_clauses)
+
+        reproduced, actual = replay_artifact(path)
+        assert reproduced
+        assert report.signature.matches(actual)
+
+    def test_replay_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-a-reproducer.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a soak reproducer"):
+            replay_artifact(path)
+
+    def test_replay_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"kind": "soak-reproducer", "v": 99}))
+        with pytest.raises(ValueError, match="v99"):
+            replay_artifact(path)

@@ -13,6 +13,7 @@ from repro import SystemConfig
 from repro.sweep import (
     ExperimentSpec,
     ResultStore,
+    SweepJournal,
     SweepRunner,
     TraceStore,
     build_matrix,
@@ -109,6 +110,178 @@ class TestSweepRunner:
         assert parallel_wall * 2.0 <= serial_wall, (
             f"4 workers: {parallel_wall:.2f}s vs serial {serial_wall:.2f}s"
         )
+
+
+class TestSweepResilience:
+    """Crash isolation, failure attribution, resume, interrupt hygiene."""
+
+    def test_failures_isolated_and_resume_retries_only_them(
+        self, tmp_path, monkeypatch
+    ):
+        """The ISSUE acceptance scenario: one raising + one hanging worker.
+
+        The sweep must complete, the healthy results must land, both
+        failures must be attributed (failed vs timeout), and a resumed
+        invocation must re-attempt only the failed specs.
+        """
+        import repro.sweep.runner as runner_mod
+
+        real_simulate = runner_mod.simulate
+
+        def hang_on_ycsb(trace, scheme, config, **kwargs):
+            if trace.name == "ycsb":
+                time.sleep(600)
+            return real_simulate(trace, scheme, config, **kwargs)
+
+        # Workers fork from this process, so they inherit the patch.
+        monkeypatch.setattr(runner_mod, "simulate", hang_on_ycsb)
+        healthy = build_matrix(["pr"], ["native", "memtis"], scale=TINY)
+        raising = ExperimentSpec.build(
+            "pr", "pipm", scale=TINY,
+            system_kwargs={"definitely_not_a_kwarg": True},
+        )
+        hanging = ExperimentSpec.build("ycsb", "native", scale=TINY)
+        specs = healthy + [raising, hanging]
+
+        summary = SweepRunner(
+            specs, tmp_path, workers=2, timeout_s=3.0
+        ).run()
+
+        assert summary.runs == len(healthy)
+        assert summary.failed == 2
+        by_key = {f.key: f for f in summary.failures}
+        assert by_key[raising.key()].status == "failed"
+        assert "definitely_not_a_kwarg" in by_key[raising.key()].error
+        assert by_key[hanging.key()].status == "timeout"
+        store = ResultStore(tmp_path)
+        for spec in healthy:
+            assert spec.key() in store
+
+        # Resume with the hang cured: healthy specs are skipped without
+        # re-running, the hung spec now completes, the intrinsically
+        # broken spec fails again.
+        monkeypatch.setattr(runner_mod, "simulate", real_simulate)
+        resumed = SweepRunner(specs, tmp_path, workers=1, resume=True).run()
+        assert resumed.skipped == len(healthy)
+        assert hanging.key() in store
+        assert resumed.failed == 1
+        assert resumed.failures[0].key == raising.key()
+
+    def test_serial_path_isolates_failures_too(self, tmp_path):
+        good = ExperimentSpec.build("pr", "native", scale=TINY)
+        bad = ExperimentSpec.build(
+            "pr", "pipm", scale=TINY, system_kwargs={"nope": 1}
+        )
+        summary = SweepRunner([bad, good], tmp_path, workers=1).run()
+        assert summary.failed == 1
+        assert summary.failures[0].status == "failed"
+        assert "nope" in summary.failures[0].error
+        assert good.key() in ResultStore(tmp_path)
+
+    def test_retry_marks_report_and_journal(self, tmp_path, monkeypatch):
+        import repro.sweep.runner as runner_mod
+
+        real_simulate = runner_mod.simulate
+        flag = tmp_path / "attempted"
+
+        def fail_once(trace, scheme, config, **kwargs):
+            if not flag.exists():
+                flag.write_text("x")
+                raise RuntimeError("transient")
+            return real_simulate(trace, scheme, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "simulate", fail_once)
+        spec = ExperimentSpec.build("pr", "native", scale=TINY)
+        summary = SweepRunner(
+            [spec], tmp_path, workers=1, retries=1, backoff_s=0.01
+        ).run()
+        assert summary.failed == 0
+        assert summary.retried == 1
+        report = summary.reports[0]
+        assert report.status == "retried"
+        assert report.attempts == 2
+        entry = SweepJournal(tmp_path).outcomes()[spec.key()]
+        assert entry.status == "retried"
+        assert entry.succeeded
+
+    def test_interrupt_purges_orphaned_temp_files(self, tmp_path):
+        specs = _matrix()[:2]
+        store = ResultStore(tmp_path)
+        traces = TraceStore(tmp_path)
+        store.results_dir.mkdir(parents=True, exist_ok=True)
+        traces.traces_dir.mkdir(parents=True, exist_ok=True)
+        (store.results_dir / ".orphan-result.tmp").write_text("torn")
+        (traces.traces_dir / ".orphan-trace.tmp").write_text("torn")
+
+        def interrupt(_line):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(specs, tmp_path, workers=1).run(progress=interrupt)
+        assert list(store.results_dir.glob(".*.tmp")) == []
+        assert list(traces.traces_dir.glob(".*.tmp")) == []
+        # The interrupted sweep is resumable: at least the first spec's
+        # completion reached the journal before the interrupt landed.
+        journal = SweepJournal(tmp_path)
+        assert any(e.succeeded for e in journal.outcomes().values())
+
+    def test_resume_reruns_when_results_were_cleared(self, tmp_path):
+        """A journal that outlived its cache must not fake a skip."""
+        spec = ExperimentSpec.build("pr", "native", scale=TINY)
+        SweepRunner([spec], tmp_path, workers=1).run()
+        store = ResultStore(tmp_path)
+        store.path_for(spec.key()).unlink()
+        resumed = SweepRunner([spec], tmp_path, workers=1, resume=True).run()
+        assert resumed.skipped == 0
+        assert resumed.misses == 1
+        assert spec.key() in store
+
+    def test_resume_skip_reports_cached_exec_time(self, tmp_path):
+        spec = ExperimentSpec.build("pr", "native", scale=TINY)
+        first = SweepRunner([spec], tmp_path, workers=1).run()
+        resumed = SweepRunner([spec], tmp_path, workers=1, resume=True).run()
+        assert resumed.skipped == 1
+        report = resumed.reports[0]
+        assert report.attempts == 0
+        assert report.exec_time_ns == first.reports[0].exec_time_ns
+
+
+class TestSweepJournal:
+    def test_last_entry_wins_across_epochs(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin(2)
+        journal.record("k1", "pr/native", "failed", error="Boom")
+        journal.record("k2", "pr/pipm", "ok")
+        journal.begin(1)
+        journal.record("k1", "pr/native", "ok", cache_hit=True)
+        outcomes = journal.outcomes()
+        assert outcomes["k1"].succeeded
+        assert outcomes["k1"].run == 2
+        assert outcomes["k2"].run == 1
+        assert journal.epochs() == 2
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("k1", "pr/native", "ok")
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"event":"spec","key":"k2","stat')  # writer died
+        assert set(journal.outcomes()) == {"k1"}
+
+    def test_error_tail_is_bounded(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.record("k1", "l", "failed", error="x" * 10_000)
+        entry = journal.outcomes()["k1"]
+        assert entry.error is not None
+        assert len(entry.error) == 2000
+
+    def test_rejects_unknown_status(self, tmp_path):
+        with pytest.raises(ValueError, match="status"):
+            SweepJournal(tmp_path).record("k", "l", "exploded")
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "nowhere")
+        assert journal.outcomes() == {}
+        assert journal.epochs() == 0
 
 
 class TestRunCached:

@@ -1,0 +1,148 @@
+"""The crash-isolating job supervisor: raise/hang/kill/flaky workers."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sweep import FailedRun, Job, JobOutcome, JobSupervisor
+from repro.sweep.supervisor import SupervisorPolicy
+
+
+def _worker(payload):
+    """Scriptable test worker; fork-inherited, so no pickling needed."""
+    mode = payload["mode"]
+    if mode == "ok":
+        return payload["value"]
+    if mode == "raise":
+        raise ValueError(f"deliberate failure {payload['value']}")
+    if mode == "hang":
+        time.sleep(600)
+        return "never"
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "flaky":
+        marker = Path(payload["marker"])
+        if marker.exists():
+            return "recovered"
+        marker.write_text("attempted")
+        raise RuntimeError("first attempt fails")
+    raise AssertionError(f"unknown mode {mode!r}")
+
+
+def _job(name, **payload):
+    return Job(key=name, label=name, payload=payload)
+
+
+def _run(jobs, **kwargs):
+    policy = SupervisorPolicy(
+        timeout_s=kwargs.pop("timeout_s", None),
+        retries=kwargs.pop("retries", 0),
+        backoff_s=kwargs.pop("backoff_s", 0.01),
+    )
+    supervisor = JobSupervisor(_worker, policy=policy, **kwargs)
+    return {o.key: o for o in supervisor.run(jobs)}
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            SupervisorPolicy(timeout_s=0.0).validate()
+        with pytest.raises(ValueError, match="retries"):
+            SupervisorPolicy(retries=-1).validate()
+        with pytest.raises(ValueError, match="backoff_s"):
+            SupervisorPolicy(backoff_s=-0.1).validate()
+
+    def test_backoff_doubles_per_reattempt(self):
+        policy = SupervisorPolicy(backoff_s=0.5)
+        assert policy.backoff_for(2) == 0.5
+        assert policy.backoff_for(3) == 1.0
+        assert policy.backoff_for(4) == 2.0
+
+    def test_slots_validation(self):
+        with pytest.raises(ValueError, match="slots"):
+            JobSupervisor(_worker, slots=0)
+
+
+class TestOutcomes:
+    def test_ok_jobs_return_results(self):
+        outcomes = _run(
+            [_job("a", mode="ok", value=1), _job("b", mode="ok", value=2)],
+            slots=2,
+        )
+        assert outcomes["a"].ok and outcomes["a"].result == 1
+        assert outcomes["b"].ok and outcomes["b"].result == 2
+        assert all(o.attempts == 1 for o in outcomes.values())
+
+    def test_raising_worker_becomes_failed_run(self):
+        outcomes = _run([_job("boom", mode="raise", value=7)])
+        outcome = outcomes["boom"]
+        assert not outcome.ok
+        failure = outcome.failure
+        assert isinstance(failure, FailedRun)
+        assert failure.status == "failed"
+        assert failure.attempts == 1
+        # The child's traceback crossed the pipe intact.
+        assert "ValueError" in failure.error
+        assert "deliberate failure 7" in failure.error
+
+    def test_hanging_worker_times_out(self):
+        started = time.monotonic()
+        outcomes = _run([_job("stuck", mode="hang")], timeout_s=1.0)
+        failure = outcomes["stuck"].failure
+        assert failure is not None
+        assert failure.status == "timeout"
+        assert "timed out after 1.0s" in failure.error
+        # Enforced promptly: nowhere near the worker's 600s sleep.
+        assert time.monotonic() - started < 30.0
+
+    def test_killed_worker_attributed_to_signal(self):
+        outcomes = _run([_job("oom", mode="kill")])
+        failure = outcomes["oom"].failure
+        assert failure is not None
+        assert failure.status == "failed"
+        assert "SIGKILL" in failure.error
+
+    def test_flaky_job_recovers_on_retry(self, tmp_path):
+        marker = tmp_path / "attempted"
+        outcomes = _run(
+            [_job("flaky", mode="flaky", marker=str(marker))], retries=1
+        )
+        outcome = outcomes["flaky"]
+        assert outcome.ok
+        assert outcome.result == "recovered"
+        assert outcome.attempts == 2
+        assert marker.exists()
+
+    def test_retries_exhausted_reports_final_attempt_count(self):
+        outcomes = _run([_job("boom", mode="raise", value=0)], retries=2)
+        failure = outcomes["boom"].failure
+        assert failure is not None
+        assert failure.attempts == 3
+
+    def test_mixed_batch_isolates_failures(self, tmp_path):
+        """One raising and one hung worker must not hurt healthy jobs."""
+        jobs = [
+            _job("good-1", mode="ok", value="x"),
+            _job("bad", mode="raise", value=1),
+            _job("stuck", mode="hang"),
+            _job("good-2", mode="ok", value="y"),
+        ]
+        outcomes = _run(jobs, slots=2, timeout_s=2.0)
+        assert len(outcomes) == len(jobs)
+        assert outcomes["good-1"].result == "x"
+        assert outcomes["good-2"].result == "y"
+        assert outcomes["bad"].failure.status == "failed"
+        assert outcomes["stuck"].failure.status == "timeout"
+
+    def test_outcome_ok_property(self):
+        assert JobOutcome(key="k", label="l", attempts=1, result=3).ok
+        failed = JobOutcome(
+            key="k", label="l", attempts=1,
+            failure=FailedRun("k", "l", "failed", 1, "tb", 0.1),
+        )
+        assert not failed.ok
