@@ -43,13 +43,18 @@ from ..mem.cxl_link import (
 )
 from ..pipm.engine import PipmEngine
 from ..pipm.remap_global import NO_HOST
+from ..pipm.remap_local import LEAF_ENTRIES
 from ..policies.base import Mechanism, MigrationScheme
 from ..policies.costs import KernelCostModel
 from ..stats import StatRegistry
 from .results import ServicePoint
 
+_I = 0
 _S = 1
 _M = 3
+
+#: Radix-root entries are 8-byte pointers to leaves.
+_ROOT_PTRS_PER_LINE = units.CACHE_LINE // 8
 
 _SVC_L1 = int(ServicePoint.L1)
 _SVC_LLC = int(ServicePoint.LLC)
@@ -140,6 +145,27 @@ class MultiHostSystem:
         self._ddir_ns = config.directory.latency_ns
         self._grc_ns = config.pipm.global_remap_cache_latency_ns
         self._lrc_ns = config.pipm.local_remap_cache_latency_ns
+
+        # -- remap-table walk address regions --------------------------
+        # Table walks occupy DRAM like any other access, but at the
+        # *table's* addresses: walking at the data address would prime the
+        # data line's row buffer and fake a row hit on the read that
+        # follows.  The regions sit above the unified data map, so they can
+        # never alias workload data in any bank.  (Per-host local tables
+        # live behind per-host controllers; reusing one numeric base across
+        # hosts cannot alias either.)
+        table_base = self.address_map.total_capacity
+        num_pages = self.address_map.cxl_capacity // units.PAGE_SIZE
+        root_lines = num_pages // LEAF_ENTRIES // _ROOT_PTRS_PER_LINE + 1
+        self._local_root_base = table_base
+        self._local_leaf_base = table_base + (root_lines << units.LINE_SHIFT)
+        self._global_table_base = table_base
+        self._leaf_entries_per_line = (
+            units.CACHE_LINE // config.pipm.local_entry_bytes
+        )
+        self._global_entries_per_line = (
+            units.CACHE_LINE // config.pipm.global_entry_bytes
+        )
 
         # -- mechanism state -----------------------------------------------
         self.mechanism = scheme.mechanism
@@ -451,6 +477,11 @@ class MultiHostSystem:
                 entry = owner_host.llc.peek(line)
                 if entry is not None:
                     entry.dirty = True
+        elif is_write:
+            # Fig. 3 step 4: the write lands in the owner's DRAM.  (This
+            # used to charge ``read_line``, leaving row-buffer/occupancy
+            # state inconsistent with the data flow.)
+            lat += owner_host.local_mem.write_line(addr, now)
         else:
             lat += owner_host.local_mem.read_line(addr, now)
         if is_write:
@@ -475,8 +506,21 @@ class MultiHostSystem:
         entry, cache_hit = engine.local_lookup(host_id, page)
         lat += self._lrc_ns
         if not cache_hit:
-            # Two-level radix walk in local DRAM.
-            lat += 2 * host.local_mem.read_line(addr, now)
+            # Two-level radix walk in local DRAM: one read per level, each
+            # at the table's own address.  (This used to charge ``2 *
+            # read_line(addr)`` — doubling a single occupancy/row-buffer
+            # charge and aliasing the walk into the data line's row.)
+            root = page // LEAF_ENTRIES
+            lat += host.local_mem.read_line(
+                self._local_root_base
+                + (root // _ROOT_PTRS_PER_LINE << units.LINE_SHIFT),
+                now,
+            )
+            lat += host.local_mem.read_line(
+                self._local_leaf_base
+                + (page // self._leaf_entries_per_line << units.LINE_SHIFT),
+                now,
+            )
 
         if entry is not None and entry.line_migrated(line_in_page):
             # Case 3 of Fig. 9: I' -> ME, served from local memory.
@@ -497,8 +541,16 @@ class MultiHostSystem:
         # link round-trip itself is charged by the serving path below.
         lat += self._grc_ns
         if not engine.device_lookup(page):
-            # Global remapping table access in CXL DRAM.
-            lat += self.cxl_mem.read_line(page << units.PAGE_SHIFT, now)
+            # Global remapping table access in CXL DRAM, in the table's own
+            # address region.  (This used to read ``page << PAGE_SHIFT`` —
+            # the data page's first line — so every table-walk miss warmed
+            # the row buffer for the data read and faked a row hit.)
+            lat += self.cxl_mem.read_line(
+                self._global_table_base
+                + (page // self._global_entries_per_line
+                   << units.LINE_SHIFT),
+                now,
+            )
 
         if engine.static_map:
             current = engine.static_home(page)
@@ -736,7 +788,7 @@ class MultiHostSystem:
             entry.sharers.discard(host.host_id)
             if entry.owner == host.host_id:
                 entry.owner = -1
-                entry.state = _S if entry.sharers else _S
+                entry.state = _S if entry.sharers else _I
             if not entry.sharers:
                 self.device_dir.remove(line)
 

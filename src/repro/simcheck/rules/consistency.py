@@ -1,0 +1,40 @@
+"""Consistency rules: conditionals whose branches cannot differ.
+
+``X if cond else X`` type-checks, runs, and silently ignores its
+condition — exactly the shape of the owner-drop bug this rule was written
+after (``entry.state = _S if entry.sharers else _S`` in
+``_handle_llc_eviction`` always kept the directory entry Shared).  A
+ternary with identical branches is either a typo'd constant or dead
+logic; both deserve a finding, not a review-time squint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from .common import unparse
+
+
+@register
+class IdenticalTernaryBranchesRule(Rule):
+    id = "CON001"
+    title = "ternary with identical branches"
+    scopes = ("src", "benchmarks", "tests")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.IfExp):
+                continue
+            if ast.dump(node.body) != ast.dump(node.orelse):
+                continue
+            branch = unparse(node.body)
+            yield ctx.finding(
+                self.id,
+                node,
+                f"'{branch} if ... else {branch}' yields the same value "
+                f"on both branches; the condition is dead — one branch "
+                f"is probably a typo'd name or constant",
+            )

@@ -76,6 +76,41 @@ class TestDeterminismRules:
         assert _rules(findings) == ["DET003", "DET003"]
 
 
+class TestConsistencyRule:
+    def test_identical_ternary_branches_flagged(self):
+        findings = _lint("""
+            _S = 1
+            def drop(entry):
+                entry.state = _S if entry.sharers else _S
+        """)
+        assert _rules(findings) == ["CON001"]
+        assert findings[0].line == 4
+
+    def test_identical_call_branches_flagged(self):
+        findings = _lint("""
+            def pick(cond, x):
+                return f(x) if cond else f(x)
+        """)
+        assert _rules(findings) == ["CON001"]
+
+    def test_distinct_branches_allowed(self):
+        findings = _lint("""
+            _I = 0
+            _S = 1
+            def drop(entry):
+                entry.state = _S if entry.sharers else _I
+        """)
+        assert findings == []
+
+    def test_structurally_equal_not_textually_equal_flagged(self):
+        # Whitespace/parens differ but the AST is the same expression.
+        findings = _lint("""
+            def pick(cond, a, b):
+                return (a + b) if cond else a+b
+        """)
+        assert _rules(findings) == ["CON001"]
+
+
 class TestOrderingRule:
     def test_for_over_set_literal(self):
         findings = _lint("""
