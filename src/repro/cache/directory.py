@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from .replacement import BY_STAMP
+
 
 class DirectoryEntry:
     """Directory state for one tracked cache line."""
@@ -90,7 +92,7 @@ class SlicedDirectory:
             return entry, None
         victim = None
         if len(dir_set) >= self.ways:
-            victim = min(dir_set.values(), key=lambda e: e.stamp)
+            victim = min(dir_set.values(), key=BY_STAMP)
             del dir_set[victim.line]
             self.capacity_evictions += 1
         entry = DirectoryEntry(line, state, owner)

@@ -8,10 +8,15 @@ timestamp) and ``rrpv`` (re-reference prediction value for SRRIP).
 from __future__ import annotations
 
 import random
+from operator import attrgetter
 from typing import Iterable, Protocol, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .sa_cache import CacheEntry
+
+#: C-level key function — noticeably faster than a lambda in victim scans,
+#: which run once per eviction across every cache and directory set.
+BY_STAMP = attrgetter("stamp")
 
 
 class ReplacementPolicy(Protocol):
@@ -34,7 +39,7 @@ class LruPolicy:
         entry.stamp = tick
 
     def victim(self, entries: Iterable["CacheEntry"]) -> "CacheEntry":
-        return min(entries, key=lambda e: e.stamp)
+        return min(entries, key=BY_STAMP)
 
 
 class RandomPolicy:

@@ -38,6 +38,9 @@ class CacheEntry:
 class SetAssocCache:
     """A set-associative cache of line-granularity entries."""
 
+    __slots__ = ("num_sets", "ways", "name", "_mask", "_sets", "_policy",
+                 "_lru", "_tick", "hits", "misses", "evictions")
+
     def __init__(
         self,
         num_sets: int,
@@ -55,6 +58,13 @@ class SetAssocCache:
         self._mask = num_sets - 1
         self._sets: List[Dict[int, CacheEntry]] = [dict() for _ in range(num_sets)]
         self._policy = policy if policy is not None else LruPolicy()
+        # LRU is the common case across L1/LLC/remap caches.  For it, the
+        # set dict doubles as the recency order (move-to-end on touch, so
+        # the first key is always the LRU victim): picking a victim is then
+        # O(1) instead of an O(ways) stamp scan, and no policy dispatch or
+        # stamp bookkeeping runs per access.  Move-to-end keeps exactly the
+        # order min-by-stamp would recover, so victims are unchanged.
+        self._lru = type(self._policy) is LruPolicy
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -63,14 +73,19 @@ class SetAssocCache:
     # -- core operations -----------------------------------------------
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheEntry]:
         """The entry for ``line`` or ``None``; counts hit/miss statistics."""
-        entry = self._sets[line & self._mask].get(line)
+        cache_set = self._sets[line & self._mask]
+        entry = cache_set.get(line)
         if entry is None:
             self.misses += 1
             return None
         self.hits += 1
         if touch:
-            self._tick += 1
-            self._policy.on_hit(entry, self._tick)
+            if self._lru:
+                del cache_set[line]
+                cache_set[line] = entry
+            else:
+                self._tick += 1
+                self._policy.on_hit(entry, self._tick)
         return entry
 
     def peek(self, line: int) -> Optional[CacheEntry]:
@@ -85,21 +100,31 @@ class SetAssocCache:
         Filling a line already present updates it in place (returns None).
         """
         cache_set = self._sets[line & self._mask]
-        self._tick += 1
+        lru = self._lru
         existing = cache_set.get(line)
         if existing is not None:
             existing.dirty = existing.dirty or dirty
             if state is not None:
                 existing.state = state
-            self._policy.on_hit(existing, self._tick)
+            if lru:
+                del cache_set[line]
+                cache_set[line] = existing
+            else:
+                self._tick += 1
+                self._policy.on_hit(existing, self._tick)
             return None
         victim = None
         if len(cache_set) >= self.ways:
-            victim = self._policy.victim(cache_set.values())
-            del cache_set[victim.line]
+            if lru:
+                victim = cache_set.pop(next(iter(cache_set)))
+            else:
+                victim = self._policy.victim(cache_set.values())
+                del cache_set[victim.line]
             self.evictions += 1
         entry = CacheEntry(line, dirty, state)
-        self._policy.on_fill(entry, self._tick)
+        if not lru:
+            self._tick += 1
+            self._policy.on_fill(entry, self._tick)
         cache_set[line] = entry
         return victim
 

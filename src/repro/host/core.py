@@ -40,3 +40,8 @@ class CoreModel:
     @property
     def ns_per_instruction(self) -> float:
         return self._ns_per_instr
+
+    @property
+    def inv_mlp(self) -> float:
+        """Stall multiplier (``1 / mlp``) — hoisted by the run loop."""
+        return self._inv_mlp

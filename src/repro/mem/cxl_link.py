@@ -21,7 +21,7 @@ from typing import Optional
 
 from .. import units
 from ..config import CxlLinkConfig
-from ..stats import ScopedStats
+from ..stats import Counter, ScopedStats
 
 #: Direction constants.
 TO_DEVICE = 0
@@ -50,11 +50,26 @@ class LinkTransferError(Exception):
 class CxlLink:
     """One bidirectional host <-> CXL-node link."""
 
+    __slots__ = ("config", "_busy_until", "_stats", "_faults", "_latency_ns",
+                 "_bw_bytes_ns", "_messages", "_bytes", "_queue_ns")
+
     def __init__(self, config: CxlLinkConfig, stats: Optional[ScopedStats] = None):
         self.config = config
         self._busy_until = [0.0, 0.0]
         self._stats = stats
         self._faults = None  # Optional[repro.faults.LinkFaultModel]
+        self._latency_ns = config.latency_ns
+        # transfer_ns(size, gbs) == size * 1e9 / (gbs * GB); hoist the
+        # constant denominator so the fault-free path skips the helper.
+        self._bw_bytes_ns = config.bandwidth_gbs * units.GB
+        if stats is not None:
+            self._messages = stats.counter("messages")
+            self._bytes = stats.counter("bytes")
+            self._queue_ns = stats.counter("queue_ns")
+        else:
+            self._messages = Counter()
+            self._bytes = Counter()
+            self._queue_ns = Counter()
 
     def attach_faults(self, model) -> None:
         """Attach a per-link fault model (``None`` detaches)."""
@@ -70,16 +85,19 @@ class CxlLink:
             return self._transfer_with_faults(
                 direction, now, size_bytes, faultable=False
             )
-        serialization = units.transfer_ns(size_bytes, self.config.bandwidth_gbs)
-        queue_delay = max(0.0, self._busy_until[direction] - now)
-        self._busy_until[direction] = (
-            max(self._busy_until[direction], now) + serialization
-        )
-        if self._stats is not None:
-            self._stats.add("messages")
-            self._stats.add("bytes", size_bytes)
-            self._stats.add("queue_ns", queue_delay)
-        return self.config.latency_ns + queue_delay + serialization
+        serialization = size_bytes * 1e9 / self._bw_bytes_ns
+        busy_until = self._busy_until
+        busy = busy_until[direction]
+        if busy > now:
+            queue_delay = busy - now
+            busy_until[direction] = busy + serialization
+        else:
+            queue_delay = 0.0
+            busy_until[direction] = now + serialization
+        self._messages.value += 1
+        self._bytes.value += size_bytes
+        self._queue_ns.value += queue_delay
+        return self._latency_ns + queue_delay + serialization
 
     def try_transfer(self, direction: int, now: float, size_bytes: int) -> float:
         """Like :meth:`transfer`, but raises :class:`LinkTransferError` when
@@ -155,9 +173,45 @@ class CxlLink:
         response_bytes: int = units.CACHE_LINE,
     ) -> float:
         """Request to the device and response back, starting at ``now``."""
-        out = self.transfer(TO_DEVICE, now, request_bytes)
-        back = self.transfer(TO_HOST, now + out, response_bytes)
-        return out + back
+        if (
+            self._faults is not None
+            or request_bytes <= 0
+            or response_bytes <= 0
+        ):
+            # Degraded/error handling lives in transfer(); this method only
+            # inlines the fault-free common case (one call per CXL access).
+            out = self.transfer(TO_DEVICE, now, request_bytes)
+            back = self.transfer(TO_HOST, now + out, response_bytes)
+            return out + back
+        busy_until = self._busy_until
+        bw = self._bw_bytes_ns
+        latency_ns = self._latency_ns
+
+        serialization = request_bytes * 1e9 / bw
+        busy = busy_until[TO_DEVICE]
+        if busy > now:
+            queue_delay = busy - now
+            busy_until[TO_DEVICE] = busy + serialization
+        else:
+            queue_delay = 0.0
+            busy_until[TO_DEVICE] = now + serialization
+        out = latency_ns + queue_delay + serialization
+        self._queue_ns.value += queue_delay
+
+        then = now + out
+        serialization = response_bytes * 1e9 / bw
+        busy = busy_until[TO_HOST]
+        if busy > then:
+            queue_delay = busy - then
+            busy_until[TO_HOST] = busy + serialization
+        else:
+            queue_delay = 0.0
+            busy_until[TO_HOST] = then + serialization
+        self._messages.value += 2
+        self._bytes.value += request_bytes + response_bytes
+        self._queue_ns.value += queue_delay
+        # Sum in the same association transfer() uses: out + (lat + q + ser).
+        return out + (latency_ns + queue_delay + serialization)
 
     def try_round_trip(
         self,
@@ -177,6 +231,15 @@ class CxlLink:
         self._busy_until = [0.0, 0.0]
         if self._stats is not None:
             self._stats.clear()
+            # clear() drops the scope's keys from the registry; re-bind so
+            # post-reset traffic lands in live (fresh, zeroed) cells.
+            self._messages = self._stats.counter("messages")
+            self._bytes = self._stats.counter("bytes")
+            self._queue_ns = self._stats.counter("queue_ns")
+        else:
+            self._messages = Counter()
+            self._bytes = Counter()
+            self._queue_ns = Counter()
 
 
 #: Size of a bare coherence/control message on the link (header-only flit).

@@ -15,40 +15,77 @@ from typing import Dict, Optional
 
 from .. import units
 from ..config import DramConfig
-from ..stats import ScopedStats
+from ..stats import Counter, ScopedStats
 
 
 class DramChannel:
-    """One DDR5 channel: banks with open rows + a bandwidth server."""
+    """One DDR5 channel: banks with open rows + a bandwidth server.
+
+    The channel is the innermost object on the per-access hot path (every
+    cache miss lands here), so the constructor hoists the config fields
+    into instance slots and preresolves its statistics counters; untracked
+    channels bump free-standing cells so ``access`` stays branch-free.
+    """
+
+    __slots__ = ("config", "_open_rows", "_busy_until", "_row_bytes",
+                 "_banks", "_row_hit_ns", "_row_miss_ns", "_bw_bytes_ns",
+                 "_line_ns", "_row_hits", "_row_misses", "_accesses",
+                 "_bytes", "_queue_ns")
 
     def __init__(self, config: DramConfig, stats: Optional[ScopedStats] = None):
         self.config = config
         self._open_rows: Dict[int, int] = {}
         self._busy_until = 0.0
-        self._stats = stats
+        self._row_bytes = config.row_bytes
+        self._banks = config.banks_per_channel
+        self._row_hit_ns = config.row_hit_ns
+        self._row_miss_ns = config.row_miss_ns
+        # transfer_ns(size, gbs) == size * 1e9 / (gbs * GB); the
+        # denominator is constant per channel, so precompute it (and the
+        # common cache-line cost) with identical rounding to the helper.
+        self._bw_bytes_ns = config.bandwidth_gbs_per_channel * units.GB
+        self._line_ns = units.transfer_ns(
+            units.CACHE_LINE, config.bandwidth_gbs_per_channel
+        )
+        if stats is not None:
+            self._row_hits = stats.counter("row_hits")
+            self._row_misses = stats.counter("row_misses")
+            self._accesses = stats.counter("accesses")
+            self._bytes = stats.counter("bytes")
+            self._queue_ns = stats.counter("queue_ns")
+        else:
+            self._row_hits = Counter()
+            self._row_misses = Counter()
+            self._accesses = Counter()
+            self._bytes = Counter()
+            self._queue_ns = Counter()
 
     def access(self, addr: int, now: float, size_bytes: int = units.CACHE_LINE) -> float:
         """Latency (ns) to service ``size_bytes`` at ``addr`` starting ``now``."""
-        cfg = self.config
-        row = addr // cfg.row_bytes
-        bank = row % cfg.banks_per_channel
-        open_row = self._open_rows.get(bank)
-        if open_row == row:
-            device_ns = cfg.row_hit_ns
-            if self._stats is not None:
-                self._stats.add("row_hits")
+        row = addr // self._row_bytes
+        bank = row % self._banks
+        open_rows = self._open_rows
+        if open_rows.get(bank) == row:
+            device_ns = self._row_hit_ns
+            self._row_hits.value += 1
         else:
-            device_ns = cfg.row_miss_ns
-            self._open_rows[bank] = row
-            if self._stats is not None:
-                self._stats.add("row_misses")
-        serialization = units.transfer_ns(size_bytes, cfg.bandwidth_gbs_per_channel)
-        queue_delay = max(0.0, self._busy_until - now)
-        self._busy_until = max(self._busy_until, now) + serialization
-        if self._stats is not None:
-            self._stats.add("accesses")
-            self._stats.add("bytes", size_bytes)
-            self._stats.add("queue_ns", queue_delay)
+            device_ns = self._row_miss_ns
+            open_rows[bank] = row
+            self._row_misses.value += 1
+        if size_bytes == units.CACHE_LINE:
+            serialization = self._line_ns
+        else:
+            serialization = size_bytes * 1e9 / self._bw_bytes_ns
+        busy = self._busy_until
+        if busy > now:
+            queue_delay = busy - now
+            self._busy_until = busy + serialization
+        else:
+            queue_delay = 0.0
+            self._busy_until = now + serialization
+        self._accesses.value += 1
+        self._bytes.value += size_bytes
+        self._queue_ns.value += queue_delay
         return device_ns + queue_delay + serialization
 
     def reset(self) -> None:
@@ -59,17 +96,20 @@ class DramChannel:
 class DramPool:
     """A DRAM pool of one or more channels with address interleaving."""
 
+    __slots__ = ("config", "channels", "_num_channels", "_interleave_shift")
+
     def __init__(self, config: DramConfig, stats: Optional[ScopedStats] = None):
         self.config = config
         self.channels = [
             DramChannel(config, stats.scoped(f"ch{i}") if stats else None)
             for i in range(config.channels)
         ]
+        self._num_channels = len(self.channels)
         # Interleave at 4KB granularity across channels.
         self._interleave_shift = units.PAGE_SHIFT
 
     def access(self, addr: int, now: float, size_bytes: int = units.CACHE_LINE) -> float:
-        channel = (addr >> self._interleave_shift) % len(self.channels)
+        channel = (addr >> self._interleave_shift) % self._num_channels
         return self.channels[channel].access(addr, now, size_bytes)
 
     @property

@@ -304,7 +304,7 @@ class PipmEngine:
                     self.local_caches[owner].install(page)
             else:
                 current.counter = counter
-                current.migrated_lines = migrated_lines
+                current.assign_lines(migrated_lines)
         # Event counters.
         counters = self.counters
         (

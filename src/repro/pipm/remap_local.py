@@ -25,9 +25,19 @@ LEAF_ENTRIES = 1024
 
 
 class LocalRemapEntry:
-    """One partially migrated page resident on this host."""
+    """One partially migrated page resident on this host.
 
-    __slots__ = ("page", "local_pfn", "counter", "migrated_lines")
+    ``migrated_count`` mirrors ``bin(migrated_lines).count('1')`` and the
+    owning table mirrors the sum over its entries, both maintained
+    incrementally: the per-eviction peak-footprint tracking reads the
+    table total on every incremental migration, and recounting bits
+    across every entry there dominated whole-simulation runtime.  Mutate
+    the mask only through :meth:`set_line` / :meth:`clear_line` /
+    :meth:`assign_lines` so the mirrors stay exact.
+    """
+
+    __slots__ = ("page", "local_pfn", "counter", "migrated_lines",
+                 "migrated_count", "table")
 
     def __init__(self, page: int, local_pfn: int, counter: int) -> None:
         self.page = page
@@ -35,19 +45,35 @@ class LocalRemapEntry:
         self.counter = counter
         # Bitmask over the 64 lines of the page: 1 = line lives in local DRAM.
         self.migrated_lines = 0
+        self.migrated_count = 0
+        self.table: Optional["LocalRemapTable"] = None
 
     def line_migrated(self, line_in_page: int) -> bool:
         return bool(self.migrated_lines >> line_in_page & 1)
 
     def set_line(self, line_in_page: int) -> None:
-        self.migrated_lines |= 1 << line_in_page
+        bit = 1 << line_in_page
+        if not self.migrated_lines & bit:
+            self.migrated_lines |= bit
+            self.migrated_count += 1
+            if self.table is not None:
+                self.table._migrated_total += 1
 
     def clear_line(self, line_in_page: int) -> None:
-        self.migrated_lines &= ~(1 << line_in_page)
+        bit = 1 << line_in_page
+        if self.migrated_lines & bit:
+            self.migrated_lines &= ~bit
+            self.migrated_count -= 1
+            if self.table is not None:
+                self.table._migrated_total -= 1
 
-    @property
-    def migrated_count(self) -> int:
-        return bin(self.migrated_lines).count("1")
+    def assign_lines(self, migrated_lines: int) -> None:
+        """Replace the whole mask at once (snapshot-rollback path)."""
+        delta = bin(migrated_lines).count("1") - self.migrated_count
+        self.migrated_lines = migrated_lines
+        self.migrated_count += delta
+        if self.table is not None:
+            self.table._migrated_total += delta
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -64,6 +90,7 @@ class LocalRemapTable:
         self.host_id = host_id
         self._entries: Dict[int, LocalRemapEntry] = {}
         self._leaves_touched: set = set()
+        self._migrated_total = 0
 
     # -- operations -----------------------------------------------------
     def lookup(self, page: int) -> Optional[LocalRemapEntry]:
@@ -83,6 +110,7 @@ class LocalRemapTable:
         )
         self._entries[page] = entry
         self._leaves_touched.add(page // LEAF_ENTRIES)
+        entry.table = self
         return entry
 
     def restore(
@@ -96,15 +124,19 @@ class LocalRemapTable:
         if page in self._entries:
             raise ValueError(f"page {page:#x} already partially migrated here")
         entry = LocalRemapEntry(page, local_pfn, counter=counter)
-        entry.migrated_lines = migrated_lines
+        entry.assign_lines(migrated_lines)
         self._entries[page] = entry
         self._leaves_touched.add(page // LEAF_ENTRIES)
+        entry.table = self
+        self._migrated_total += entry.migrated_count
         return entry
 
     def remove(self, page: int) -> LocalRemapEntry:
         entry = self._entries.pop(page, None)
         if entry is None:
             raise KeyError(f"page {page:#x} has no local remap entry")
+        entry.table = None
+        self._migrated_total -= entry.migrated_count
         return entry
 
     def __contains__(self, page: int) -> bool:
@@ -138,7 +170,7 @@ class LocalRemapTable:
 
     # -- aggregate stats -----------------------------------------------------
     def migrated_line_total(self) -> int:
-        return sum(entry.migrated_count for entry in self._entries.values())
+        return self._migrated_total
 
     def page_footprint_bytes(self) -> int:
         """Local DRAM committed at page granularity (PIPM-page, Fig. 13)."""

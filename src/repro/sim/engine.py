@@ -33,14 +33,15 @@ class SimulationEngine:
         total = 0
         for host_id, stream in enumerate(trace.streams):
             total += len(stream)
-            for index, record in enumerate(stream):
-                if record[0] < 0:
-                    raise ValueError(
-                        f"trace {trace.name!r}: host {host_id} record "
-                        f"{index} has a negative inter-access gap "
-                        f"({record[0]} ns); simulated time cannot run "
-                        f"backwards"
-                    )
+            gaps = [record[0] for record in stream]
+            if gaps and min(gaps) < 0:
+                index = next(i for i, gap in enumerate(gaps) if gap < 0)
+                raise ValueError(
+                    f"trace {trace.name!r}: host {host_id} record "
+                    f"{index} has a negative inter-access gap "
+                    f"({gaps[index]} ns); simulated time cannot run "
+                    f"backwards"
+                )
         if total == 0:
             raise ValueError(
                 f"trace {trace.name!r} contains no accesses on any host; "
@@ -48,12 +49,27 @@ class SimulationEngine:
             )
         self.system = system
         self.trace = trace
+        # Pre-bake the per-host streams for the run loop: the instruction
+        # gap becomes its compute time (one multiply per record, done here
+        # instead of per access) and the write flag becomes a real bool.
+        # Instruction totals are summed up front — every record is executed
+        # exactly once, so per-access accumulation is redundant.
+        self._run_streams = []
+        self._instr_totals = []
+        for host_id, stream in enumerate(trace.streams):
+            ns_per_instr = system.hosts[host_id].core.ns_per_instruction
+            self._run_streams.append([
+                (gap * ns_per_instr, addr, bool(is_write), core)
+                for gap, addr, is_write, core in stream
+            ])
+            self._instr_totals.append(
+                sum(record[0] for record in stream)
+            )
 
     def run(self) -> SimulationResult:
         system = self.system
-        trace = self.trace
         hosts = system.hosts
-        streams = trace.streams
+        streams = self._run_streams
         interval_scheme = system._next_interval is not None
         injector = system.injector
         check_stalls = injector is not None and injector.has_stalls
@@ -61,25 +77,38 @@ class SimulationEngine:
         check_watchdog = (
             watchdog is not None and watchdog.period_ns > 0
         )
+        # When no interval scheme / fault plan / watchdog is armed, the
+        # inner loop skips their checks entirely (the common profile case).
+        eventful = interval_scheme or check_stalls or check_watchdog
 
         stall_by_service = [0.0] * 7
-        access_total = 0
+        svc_l1 = _SVC_L1
+        access = system.access
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        lens = [len(stream) for stream in streams]
+        inv_mlp = [host.core.inv_mlp for host in hosts]
+        access_counts = [0] * len(hosts)
 
-        # Heap of (clock_ns, host_id, next_index).
+        # Heap of (clock_ns, host_id, next_index).  The loop holds the
+        # current minimum in ``item`` and continues a host via heappushpop,
+        # which short-circuits in O(1) when that host is still the earliest
+        # — the single-runnable-host case never touches the heap.
         heap = [
             (hosts[h].clock_ns, h, 0)
             for h in range(len(streams))
             if streams[h]
         ]
         heapq.heapify(heap)
-
-        while heap:
-            clock, host_id, index = heapq.heappop(heap)
+        item = heappop(heap)
+        while True:
+            clock, host_id, index = item
             host = hosts[host_id]
-            if host.clock_ns > clock:
+            host_clock = host.clock_ns
+            if host_clock > clock:
                 # Management charges moved this host's clock forward; requeue
                 # so interleaving stays time-ordered.
-                heapq.heappush(heap, (host.clock_ns, host_id, index))
+                item = heappushpop(heap, (host_clock, host_id, index))
                 continue
             if check_stalls:
                 resume = injector.stall_resume(host_id, clock)
@@ -88,26 +117,35 @@ class SimulationEngine:
                     # nothing until the window ends.
                     injector.counters.host_stall_ns += resume - clock
                     host.clock_ns = resume
-                    heapq.heappush(heap, (resume, host_id, index))
+                    item = heappushpop(heap, (resume, host_id, index))
                     continue
-            gap, addr, is_write, core = streams[host_id][index]
-            host.advance_compute(gap)
-            now = host.clock_ns
-            if interval_scheme:
-                system.maybe_tick(now)
-            if check_watchdog:
-                watchdog.maybe_audit(now)
-            latency, service = system.access(host_id, core, addr,
-                                             bool(is_write), now)
-            host.accesses += 1
-            access_total += 1
-            if service != _SVC_L1:
-                stall = host.core.stall_ns(latency)
+            compute_ns, addr, is_write, core = streams[host_id][index]
+            now = host_clock + compute_ns
+            host.clock_ns = now
+            if eventful:
+                if interval_scheme:
+                    system.maybe_tick(now)
+                if check_watchdog:
+                    watchdog.maybe_audit(now)
+            latency, service = access(host_id, core, addr, is_write, now)
+            access_counts[host_id] += 1
+            if service != svc_l1:
+                stall = latency * inv_mlp[host_id]
                 host.clock_ns += stall
                 stall_by_service[service] += stall
             index += 1
-            if index < len(streams[host_id]):
-                heapq.heappush(heap, (host.clock_ns, host_id, index))
+            if index < lens[host_id]:
+                item = heappushpop(heap, (host.clock_ns, host_id, index))
+            elif heap:
+                item = heappop(heap)
+            else:
+                break
+
+        access_total = 0
+        for host_id, host in enumerate(hosts):
+            host.instructions += self._instr_totals[host_id]
+            host.accesses += access_counts[host_id]
+            access_total += access_counts[host_id]
 
         system.finalize()
         if watchdog is not None:

@@ -66,6 +66,8 @@ _SVC_INTER = int(ServicePoint.INTER_HOST)
 
 _LINES_MASK = units.LINES_PER_PAGE - 1
 _LINE_TO_PAGE = units.PAGE_SHIFT - units.LINE_SHIFT
+_LINE_SHIFT = units.LINE_SHIFT
+_CACHE_LINE = units.CACHE_LINE
 
 
 class MultiHostSystem:
@@ -172,6 +174,14 @@ class MultiHostSystem:
         self.all_local = scheme.all_local
         scheme.bind(config.num_hosts, frames_per_host)
 
+        # -- hot-path predicates (static for the lifetime of the run) ------
+        self._is_pipm = self.mechanism is Mechanism.PIPM
+        self._is_page_map = self.mechanism is Mechanism.PAGE_MAP
+        self._cxl_end = self.address_map.cxl_end
+        self._check_poison = (
+            self.injector is not None and self.injector.has_poison
+        )
+
         self.engine: Optional[PipmEngine] = None
         self.page_map: Dict[int, int] = {}
         self._page_frames: Dict[int, int] = {}
@@ -247,15 +257,15 @@ class MultiHostSystem:
         self, host_id: int, core: int, addr: int, is_write: bool, now: float
     ) -> Tuple[float, int]:
         """Service one memory access; returns ``(latency_ns, service_point)``."""
-        line = addr >> units.LINE_SHIFT
+        line = addr >> _LINE_SHIFT
         page = line >> _LINE_TO_PAGE
         host = self.hosts[host_id]
 
-        shared = addr < self.address_map.cxl_end
+        shared = addr < self._cxl_end
         lat = host.tlb.translate(page) + self._l1_ns
 
-        injector = self.injector
-        if injector is not None and injector.has_poison:
+        if self._check_poison:
+            injector = self.injector
             if now >= injector.next_poison_ns:
                 for poisoned_line in injector.activate_poison(now):
                     self._poison_line(poisoned_line)
@@ -264,7 +274,8 @@ class MultiHostSystem:
                 # from the device before the access can be served.
                 injector.clear_poison(line)
                 lat += injector.poison_penalty_ns
-        l1 = host.l1_for(core)
+        l1s = host.l1s
+        l1 = l1s[core % len(l1s)]
         entry = l1.lookup(line)
         if entry is not None:
             if is_write:
@@ -283,7 +294,7 @@ class MultiHostSystem:
 
         # Kernel-migrated pages are non-cacheable at *other* hosts: skip the
         # cache hierarchy entirely (Section 3.1).
-        if shared and self.mechanism is Mechanism.PAGE_MAP:
+        if shared and self._is_page_map:
             loc = self.page_map.get(page)
             if loc is not None and loc != host_id:
                 return self._inter_host_nc(host_id, loc, page, addr,
@@ -321,11 +332,11 @@ class MultiHostSystem:
 
         host.page_table.touch(page)
 
-        if self.mechanism is Mechanism.PIPM:
+        if self._is_pipm:
             return self._shared_pipm(host_id, l1, line, page, addr,
                                      is_write, now, lat)
 
-        if self.mechanism is Mechanism.PAGE_MAP:
+        if self._is_page_map:
             self.scheme.observe_shared_access(host_id, page, now, is_write)
             if loc == host_id:
                 # Our own migrated page: a plain local-memory access.
@@ -361,7 +372,7 @@ class MultiHostSystem:
         needs an upgrade transaction.
         """
         link = self.links[host_id]
-        lat = link.round_trip(now, CONTROL_BYTES, units.CACHE_LINE)
+        lat = link.round_trip(now, CONTROL_BYTES, _CACHE_LINE)
         lat += self._ddir_ns
         entry = self.device_dir.lookup(line)
         svc = _SVC_CXL
@@ -376,7 +387,7 @@ class MultiHostSystem:
             # Forward to the owner; dirty data returns via the CXL node.
             lat += (
                 self.links[owner].round_trip(now, CONTROL_BYTES,
-                                             units.CACHE_LINE)
+                                             _CACHE_LINE)
                 + self._ldir_ns
                 + self._llc_ns
             )
@@ -433,8 +444,8 @@ class MultiHostSystem:
         for holder in sorted(holders):
             dirty = self.hosts[holder].invalidate_line(victim.line)
             if dirty:
-                base = victim.line << units.LINE_SHIFT
-                self.links[holder].transfer(TO_DEVICE, now, units.CACHE_LINE)
+                base = victim.line << _LINE_SHIFT
+                self.links[holder].transfer(TO_DEVICE, now, _CACHE_LINE)
                 self.cxl_mem.write_line(base, now)
 
     def _upgrade(self, host_id: int, line: int, now: float) -> float:
@@ -458,17 +469,17 @@ class MultiHostSystem:
         self, host_id, owner, page, addr, is_write, now, lat
     ) -> Tuple[float, int]:
         owner_host = self.hosts[owner]
-        line = addr >> units.LINE_SHIFT
+        line = addr >> _LINE_SHIFT
         # Requester -> CXL node (routing by unified PA) -> owner -> back.
         lat += self.links[host_id].round_trip(
             now, CONTROL_BYTES,
-            CONTROL_BYTES if is_write else units.CACHE_LINE,
+            CONTROL_BYTES if is_write else _CACHE_LINE,
         )
         lat += self._ddir_ns  # RC routing at the CXL node
         lat += self.links[owner].round_trip(
             now,
-            units.CACHE_LINE if is_write else CONTROL_BYTES,
-            units.CACHE_LINE,
+            _CACHE_LINE if is_write else CONTROL_BYTES,
+            _CACHE_LINE,
         )
         lat += self._ldir_ns
         if owner_host.holds_line(line):
@@ -747,18 +758,20 @@ class MultiHostSystem:
     def _handle_llc_eviction(self, host: Host, victim, now: float) -> None:
         line = victim.line
         # Keep L1s inclusive: pull any L1 residue down with the eviction.
+        # (Inlined l1.invalidate: this loop runs per LLC eviction across
+        # every L1 and the method dispatch dominated its cost.)
         for l1 in host.l1s:
-            residue = l1.invalidate(line)
+            residue = l1._sets[line & l1._mask].pop(line, None)
             if residue is not None and residue.dirty:
                 victim.dirty = True
-        addr = line << units.LINE_SHIFT
-        if addr >= self.address_map.cxl_end:
+        addr = line << _LINE_SHIFT
+        if addr >= self._cxl_end:
             if victim.dirty:
                 host.local_mem.write_line(addr, now)
             return
         page = line >> _LINE_TO_PAGE
 
-        if self.mechanism is Mechanism.PIPM:
+        if self._is_pipm:
             engine = self.engine
             entry = engine.local_tables[host.host_id].lookup(page)
             if entry is not None and (victim.dirty or victim.state == 1):
@@ -772,7 +785,7 @@ class MultiHostSystem:
                 self._track_engine_lines(host.host_id)
                 return
 
-        if self.mechanism is Mechanism.PAGE_MAP:
+        if self._is_page_map:
             loc = self.page_map.get(page)
             if loc == host.host_id:
                 if victim.dirty:
@@ -780,7 +793,7 @@ class MultiHostSystem:
                 return
 
         if victim.dirty:
-            self.links[host.host_id].transfer(TO_DEVICE, now, units.CACHE_LINE)
+            self.links[host.host_id].transfer(TO_DEVICE, now, _CACHE_LINE)
             self.cxl_mem.write_line(addr, now)
         # Update device directory bookkeeping.
         entry = self.device_dir.peek(line)
