@@ -49,19 +49,17 @@ class SimulationEngine:
             )
         self.system = system
         self.trace = trace
-        # Pre-bake the per-host streams for the run loop: the instruction
-        # gap becomes its compute time (one multiply per record, done here
-        # instead of per access) and the write flag becomes a real bool.
-        # Instruction totals are summed up front — every record is executed
-        # exactly once, so per-access accumulation is redundant.
+        # Flatten the per-host streams for the run loop (see
+        # WorkloadTrace.baked_stream).  Instruction totals are summed up
+        # front — every record is executed exactly once, so per-access
+        # accumulation is redundant.
         self._run_streams = []
         self._instr_totals = []
         for host_id, stream in enumerate(trace.streams):
             ns_per_instr = system.hosts[host_id].core.ns_per_instruction
-            self._run_streams.append([
-                (gap * ns_per_instr, addr, bool(is_write), core)
-                for gap, addr, is_write, core in stream
-            ])
+            self._run_streams.append(
+                trace.baked_stream(host_id, ns_per_instr)
+            )
             self._instr_totals.append(
                 sum(record[0] for record in stream)
             )

@@ -79,6 +79,21 @@ class WorkloadTrace:
     def total_instructions(self) -> int:
         return sum(sum(rec[0] for rec in s) for s in self.streams)
 
+    def baked_stream(
+        self, host: int, ns_per_instr: float
+    ) -> List[Tuple[float, int, bool, int]]:
+        """``streams[host]`` as flat run-loop records.
+
+        The instruction gap is pre-multiplied into compute nanoseconds (one
+        multiply per record at load instead of per access) and the write
+        flag becomes a real bool, so the engine's inner loop unpacks plain
+        ``(compute_ns, addr, is_write, core)`` tuples.
+        """
+        return [
+            (gap * ns_per_instr, addr, bool(is_write), core)
+            for gap, addr, is_write, core in self.streams[host]
+        ]
+
     def validate(self, cxl_capacity: int, total_capacity: int) -> None:
         """Sanity-check that every address falls inside the physical map."""
         for host, stream in enumerate(self.streams):
