@@ -7,6 +7,11 @@ Commands
 ``sweep``     fan a (workload x scheme x variant) matrix across supervised
               workers into the shared result cache (crash-isolated,
               resumable)
+``serve``     always-on experiment service: watch a spool directory for
+              submitted specs, schedule them through the supervised
+              pool with admission control and per-spec circuit
+              breakers, journal every transition (kill -9 safe),
+              drain gracefully on SIGTERM
 ``soak``      randomized chaos testing under the fail-fast invariant
               watchdog, with failing-schedule minimization
 ``profile``   time the per-access hot path (deterministic accesses/sec
@@ -130,6 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base retry backoff; doubles per re-attempt (default: 0.25)",
     )
     sweep.add_argument(
+        "--max-backoff-s", type=float, default=60.0,
+        help="cap on the doubled retry backoff (default: 60)",
+    )
+    sweep.add_argument(
         "--resume", action="store_true",
         help="skip specs the sweep journal records as completed; "
              "re-attempt only failed/missing specs",
@@ -139,6 +148,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if any spec failed after its retries "
              "(the default reports failures but exits 0)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="always-on experiment service (submit/run/status)",
+        description=(
+            "A persistent daemon over the crash-isolated sweep "
+            "substrate: specs spooled into <dir>/spool are admitted "
+            "through a bounded queue, executed under the supervised "
+            "worker pool, deduped against the content-addressed cache, "
+            "and journalled transition-by-transition so kill -9 + "
+            "restart resumes without re-running completed work."
+        ),
+    )
+    from .serve.cli import add_serve_arguments
+
+    add_serve_arguments(serve)
 
     soak = sub.add_parser(
         "soak",
@@ -387,7 +412,8 @@ def _cmd_sweep(args) -> int:
     runner = SweepRunner(
         specs, cache_dir, workers=workers,
         timeout_s=args.timeout_s, retries=args.retries,
-        backoff_s=args.backoff_s, resume=args.resume,
+        backoff_s=args.backoff_s, max_backoff_s=args.max_backoff_s,
+        resume=args.resume,
     )
     try:
         summary = runner.run(progress=print)
@@ -436,6 +462,12 @@ def _cmd_sweep(args) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.cli import run_serve
+
+    return run_serve(args)
 
 
 def _cmd_soak(args) -> int:
@@ -619,6 +651,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "soak": _cmd_soak,
     "profile": _cmd_profile,
     "check": _cmd_check,

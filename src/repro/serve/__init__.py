@@ -1,0 +1,55 @@
+"""Always-on experiment service over the crash-isolated sweep substrate.
+
+``python -m repro serve run`` keeps a daemon alive that accepts
+experiment specs spooled into a watched submit directory, dedups them
+against the content-addressed result cache, schedules them through the
+:class:`~repro.sweep.supervisor.JobSupervisor`, and journals every state
+transition so a ``kill -9`` + restart resumes exactly where it left
+off.  See DESIGN.md ("Experiment service") for the lifecycle and
+README.md for the ops runbook.
+"""
+
+from .admission import REASONS, AdmissionDecision, AdmissionQueue
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+from .journal import (
+    SERVICE_JOURNAL_NAME,
+    STATES,
+    TERMINAL_STATES,
+    ServiceJournal,
+    ServiceView,
+    SpecState,
+)
+from .service import ExperimentService, submit_spec
+from .status import (
+    STATUS_NAME,
+    ServiceStatus,
+    format_status,
+    pid_alive,
+    read_status,
+    write_status,
+)
+
+__all__ = [
+    "REASONS",
+    "AdmissionDecision",
+    "AdmissionQueue",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "SERVICE_JOURNAL_NAME",
+    "STATES",
+    "TERMINAL_STATES",
+    "ServiceJournal",
+    "ServiceView",
+    "SpecState",
+    "ExperimentService",
+    "submit_spec",
+    "STATUS_NAME",
+    "ServiceStatus",
+    "format_status",
+    "pid_alive",
+    "read_status",
+    "write_status",
+]

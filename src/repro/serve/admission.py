@@ -1,0 +1,93 @@
+"""Bounded admission queue: backpressure instead of unbounded memory.
+
+The service's in-memory footprint must stay bounded no matter how hard
+the spool is hammered, so admission is a fixed-capacity FIFO keyed by
+spec content hash.  Every offer returns an :class:`AdmissionDecision`
+with a machine-readable reason; a refused offer leaves the submission
+where it was (on disk, in the spool) — backpressure, not data loss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+#: Machine-readable admission reasons (status/journal vocabulary).
+REASONS = (
+    "admitted",      # entered the queue
+    "queue-full",    # bounded queue at capacity; retry later
+    "duplicate",     # same key already queued (idempotent no-op)
+    "cached",        # result already published; completes instantly
+    "quarantined",   # circuit breaker open for this key
+    "draining",      # service is shutting down; not admitting
+    "invalid",       # submission did not parse into a spec
+)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt."""
+
+    admitted: bool
+    reason: str  # one of REASONS
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reason not in REASONS:
+            raise ValueError(
+                f"reason must be one of {REASONS}, got {self.reason!r}"
+            )
+
+
+def admitted() -> AdmissionDecision:
+    return AdmissionDecision(True, "admitted")
+
+
+def rejected(reason: str, detail: str = "") -> AdmissionDecision:
+    return AdmissionDecision(False, reason, detail)
+
+
+class AdmissionQueue:
+    """Fixed-capacity FIFO of (key, payload), deduplicated by key."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self._items: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.limit
+
+    @property
+    def room(self) -> int:
+        return max(0, self.limit - len(self._items))
+
+    def offer(self, key: str, payload: Any) -> AdmissionDecision:
+        """Try to enqueue; never blocks, never grows past ``limit``."""
+        if key in self._items:
+            return rejected("duplicate", "already queued")
+        if self.full:
+            return rejected(
+                "queue-full", f"queue at capacity ({self.limit})"
+            )
+        self._items[key] = payload
+        return admitted()
+
+    def take(self, count: int) -> List[Tuple[str, Any]]:
+        """Dequeue up to ``count`` items in FIFO order."""
+        batch: List[Tuple[str, Any]] = []
+        while self._items and len(batch) < count:
+            batch.append(self._items.popitem(last=False))
+        return batch
+
+    def keys(self) -> List[str]:
+        return list(self._items)

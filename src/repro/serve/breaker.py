@@ -1,0 +1,165 @@
+"""Per-spec circuit breakers: quarantine poison work, probe it back.
+
+A spec that exhausts its supervisor retries once may just be unlucky; a
+spec that does so *repeatedly* is poison — re-dispatching it forever
+burns worker slots and starves healthy work.  The breaker is the
+standard three-state machine, applied per spec key:
+
+* **closed** — dispatches flow; consecutive exhausted dispatches are
+  counted.  ``threshold`` of them trips the breaker **open**.
+* **open** — the spec is quarantined: admission refuses it and the
+  scheduler parks it, so it consumes zero slots.  After a cooldown the
+  breaker moves to **half-open**.
+* **half-open** — exactly one probe dispatch is allowed.  Success
+  closes the breaker (counters reset); failure re-opens it with a
+  doubled cooldown, capped at ``cooldown_max_s`` — repeated probing of
+  persistent poison backs off instead of hot-looping.
+
+Cooldowns are measured on an injectable monotonic clock (tests drive a
+fake one), and never feed simulated state — this is service plumbing,
+outside the determinism contract's blast radius.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import Callable, Dict, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Three-state breaker for one spec key."""
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        cooldown_max_s: float,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s <= 0 or cooldown_max_s < cooldown_s:
+            raise ValueError("need 0 < cooldown_s <= cooldown_max_s")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_max_s = cooldown_max_s
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0   # consecutive exhausted dispatches
+        self.opens = 0      # times tripped (drives cooldown escalation)
+        self._open_until: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    def current_cooldown_s(self) -> float:
+        """The cooldown a trip right now would impose (escalates)."""
+        scale = 2 ** max(0, self.opens - 1)
+        return min(self.cooldown_s * scale, self.cooldown_max_s)
+
+    def remaining_s(self) -> float:
+        """Seconds until an open breaker will accept a probe (0 if not open)."""
+        if self.state != OPEN or self._open_until is None:
+            return 0.0
+        return max(0.0, self._open_until - self._clock())
+
+    def admit(self) -> str:
+        """Gate one dispatch: ``"ok"``, ``"probe"``, or ``"quarantined"``.
+
+        Returning ``"probe"`` *commits* the half-open slot — the caller
+        must dispatch and report back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state == CLOSED:
+            return "ok"
+        if self.state == OPEN:
+            if self._open_until is not None and (
+                self._clock() >= self._open_until
+            ):
+                self.state = HALF_OPEN
+                self._probe_in_flight = True
+                return "probe"
+            return "quarantined"
+        # HALF_OPEN: one probe at a time.
+        if self._probe_in_flight:
+            return "quarantined"
+        self._probe_in_flight = True
+        return "probe"
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opens = 0
+        self._open_until = None
+        self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """Count one exhausted dispatch; True when this trip opened it."""
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self.opens += 1
+            self._trip()
+            return True
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self.opens += 1
+            self._trip()
+            return True
+        return False
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._open_until = self._clock() + self.current_cooldown_s()
+        self._probe_in_flight = False
+
+    def restore(self, state: str, failures: int, opens: int) -> None:
+        """Re-arm from journalled state after a restart.
+
+        An open breaker restarts its *current* cooldown from now — the
+        old deadline was on a dead process's clock and is meaningless.
+        """
+        self.failures = max(0, failures)
+        self.opens = max(0, opens)
+        self._probe_in_flight = False
+        if state == OPEN or state == HALF_OPEN:
+            self.state = OPEN
+            self._open_until = self._clock() + self.current_cooldown_s()
+        else:
+            self.state = CLOSED
+            self._open_until = None
+
+
+class BreakerBoard:
+    """All per-spec breakers, created on first reference."""
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown_s: float,
+        cooldown_max_s: float,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_max_s = cooldown_max_s
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.threshold, self.cooldown_s, self.cooldown_max_s,
+                clock=self._clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def non_closed(self) -> Dict[str, CircuitBreaker]:
+        """Breakers currently open or half-open (status reporting)."""
+        return {
+            key: b for key, b in sorted(self._breakers.items())
+            if b.state != CLOSED
+        }

@@ -1,0 +1,319 @@
+"""Service journal: every spec state transition, compactable and durable.
+
+The sweep journal (:mod:`repro.sweep.journal`) records one outcome per
+spec per invocation; a *service* needs more: every transition a spec
+makes through the daemon — ``submitted`` → ``admitted`` → ``running`` →
+``done``/``failed``/``quarantined`` — must hit disk before the service
+acts on it, so a ``kill -9`` at any instant leaves a log from which the
+next start rebuilds the exact pending set.
+
+Same durability design as the sweep journal:
+
+* **Append-only JSONL**, one ``os.write`` on an ``O_APPEND`` descriptor
+  per event — sub-``PIPE_BUF`` appends are atomic, so a torn final line
+  can only be the result of a writer killed mid-write, and the reader
+  skips it.
+* **Fold, don't scan**: readers fold the log into one
+  :class:`SpecState` per key plus running totals.
+
+What a service adds is **compaction**: across weeks of uptime the
+transition log would grow without bound, so once it passes a line
+threshold the folded state is rewritten as a single ``snapshot`` record
+via temp-file + ``os.replace`` (atomic — a kill mid-compaction leaves
+either the old journal or the new one, never a torn hybrid).  Folded
+per-key execution counters (``runs``, ``cache_hits``) survive
+compaction, so duplicate-execution accounting works across any number
+of restarts and compactions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..sweep.store import atomic_write_bytes
+
+#: Journal format version; bump on layout changes.
+SERVICE_JOURNAL_VERSION = 1
+
+#: Sidecar filename under the service root.
+SERVICE_JOURNAL_NAME = "service-journal.jsonl"
+
+#: Spec lifecycle states.  ``done`` and ``lost`` are terminal;
+#: everything else is re-enqueued (through the breaker gate) on restart.
+STATES = (
+    "submitted",     # picked up from the spool, payload persisted
+    "admitted",      # entered the bounded queue
+    "running",       # handed to a supervised worker batch
+    "done",          # result published (cache_hit says whether it ran)
+    "failed",        # one dispatch exhausted its supervisor retries
+    "quarantined",   # circuit breaker opened; parked until a probe
+    "probing",       # half-open probe dispatched
+    "lost",          # spec payload unrecoverable; terminal with error
+)
+
+TERMINAL_STATES = frozenset(("done", "lost"))
+
+
+@dataclass
+class SpecState:
+    """Folded view of one spec: last state plus cumulative counters."""
+
+    key: str
+    label: str = ""
+    state: str = "submitted"
+    attempts: int = 0       # attempts of the most recent dispatch
+    failures: int = 0       # consecutive exhausted dispatches (breaker)
+    opens: int = 0          # times this spec's breaker has tripped
+    runs: int = 0           # cumulative real executions (not cache hits)
+    cache_hits: int = 0     # cumulative cache-hit completions
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "key": self.key, "label": self.label, "state": self.state,
+            "attempts": self.attempts, "failures": self.failures,
+            "opens": self.opens, "runs": self.runs,
+            "cache_hits": self.cache_hits,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpecState":
+        return cls(
+            key=str(data["key"]),
+            label=str(data.get("label", "")),
+            state=str(data.get("state", "submitted")),
+            attempts=int(data.get("attempts", 0)),
+            failures=int(data.get("failures", 0)),
+            opens=int(data.get("opens", 0)),
+            runs=int(data.get("runs", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class ServiceView:
+    """Everything a fold of the journal yields."""
+
+    entries: Dict[str, SpecState] = field(default_factory=dict)
+    totals: Dict[str, int] = field(default_factory=dict)
+    epoch: int = 0          # service starts recorded (survives compaction)
+    compactions: int = 0
+    lines: int = 0          # physical lines folded (compaction trigger)
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.totals[counter] = self.totals.get(counter, 0) + by
+
+
+class ServiceJournal:
+    """Append-only per-spec transition log with atomic compaction."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.path = self.root / SERVICE_JOURNAL_NAME
+
+    # -- writing ---------------------------------------------------------
+    def _append(self, payload: Dict[str, Any]) -> None:
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8") + b"\n")
+        finally:
+            os.close(fd)
+
+    def epoch(self, pid: int) -> None:
+        """Mark one service start."""
+        self._append({
+            "v": SERVICE_JOURNAL_VERSION, "event": "epoch", "pid": pid,
+        })
+
+    def transition(
+        self,
+        key: str,
+        state: str,
+        label: str = "",
+        attempts: int = 0,
+        failures: int = 0,
+        opens: int = 0,
+        cache_hit: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        """Append one spec state transition."""
+        if state not in STATES:
+            raise ValueError(f"state must be one of {STATES}, got {state!r}")
+        payload: Dict[str, Any] = {
+            "v": SERVICE_JOURNAL_VERSION,
+            "event": "state",
+            "key": key,
+            "state": state,
+        }
+        if label:
+            payload["label"] = label
+        if attempts:
+            payload["attempts"] = attempts
+        if failures:
+            payload["failures"] = failures
+        if opens:
+            payload["opens"] = opens
+        if cache_hit:
+            payload["cache_hit"] = True
+        if error is not None:
+            payload["error"] = error[-2000:]
+        self._append(payload)
+
+    def reject(self, reason: str, key: str = "", detail: str = "") -> None:
+        """Record a refused submission (never enters per-key state)."""
+        payload: Dict[str, Any] = {
+            "v": SERVICE_JOURNAL_VERSION,
+            "event": "reject",
+            "reason": reason,
+        }
+        if key:
+            payload["key"] = key
+        if detail:
+            payload["detail"] = detail[-500:]
+        self._append(payload)
+
+    # -- reading ---------------------------------------------------------
+    def _lines(self) -> Iterator[Dict[str, Any]]:
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail: the writer died mid-append.  The transition
+                # is lost, which is safe — the spec it described either
+                # re-enqueues (non-terminal fold) or dedups via the
+                # result store on the next start.
+                continue
+
+    def fold(self) -> ServiceView:
+        """Fold the log (snapshot + subsequent appends) into one view."""
+        view = ServiceView()
+        for payload in self._lines():
+            view.lines += 1
+            event = payload.get("event")
+            if event == "snapshot":
+                view.entries = {
+                    e["key"]: SpecState.from_dict(e)
+                    for e in payload.get("entries", [])
+                    if e.get("key")
+                }
+                view.totals = {
+                    str(k): int(v)
+                    for k, v in (payload.get("totals") or {}).items()
+                }
+                view.epoch = int(payload.get("epoch", view.epoch))
+                view.compactions = int(
+                    payload.get("compactions", view.compactions)
+                )
+                continue
+            if event == "epoch":
+                view.epoch += 1
+                continue
+            if event == "reject":
+                view.bump("rejected")
+                continue
+            if event != "state":
+                continue
+            key = payload.get("key")
+            state = payload.get("state")
+            if not key or state not in STATES:
+                continue
+            entry = view.entries.get(key)
+            if entry is None:
+                entry = SpecState(key=key)
+                view.entries[key] = entry
+            entry.state = state
+            if payload.get("label"):
+                entry.label = str(payload["label"])
+            entry.attempts = int(payload.get("attempts", 0))
+            if "failures" in payload:
+                entry.failures = int(payload["failures"])
+            if "opens" in payload:
+                entry.opens = int(payload["opens"])
+            entry.error = payload.get("error", entry.error)
+            view.bump(state)
+            if state == "done":
+                entry.failures = 0
+                if payload.get("cache_hit"):
+                    entry.cache_hits += 1
+                    view.bump("cache_hit_completions")
+                else:
+                    entry.runs += 1
+                    view.bump("executions")
+        return view
+
+    def line_count(self) -> int:
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return 0
+        return raw.count(b"\n") + (
+            1 if raw and not raw.endswith(b"\n") else 0
+        )
+
+    # -- compaction ------------------------------------------------------
+    def compact(self) -> int:
+        """Atomically rewrite the log as one folded ``snapshot`` record.
+
+        Returns the number of physical lines folded away.  The rewrite
+        goes through a temp file + ``os.replace``: a crash at any point
+        leaves either the old journal or the compacted one intact.
+        Terminal ``done`` entries stay in the snapshot (they carry the
+        ``runs``/``cache_hits`` accounting), so the compacted size is
+        bounded by the number of *distinct* specs ever tracked, not by
+        the number of transitions.
+        """
+        view = self.fold()
+        snapshot = {
+            "v": SERVICE_JOURNAL_VERSION,
+            "event": "snapshot",
+            "epoch": view.epoch,
+            "compactions": view.compactions + 1,
+            "totals": view.totals,
+            "entries": [
+                view.entries[key].to_dict()
+                for key in sorted(view.entries)
+            ],
+        }
+        line = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+        atomic_write_bytes(self.path, line.encode("utf-8") + b"\n")
+        return max(0, view.lines - 1)
+
+    def cleanup_temp(self) -> int:
+        """Remove temp files left by a writer killed mid-compaction."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob(f".{SERVICE_JOURNAL_NAME}.*.tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

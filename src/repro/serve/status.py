@@ -1,0 +1,138 @@
+"""Liveness and health reporting for the experiment service.
+
+The daemon publishes a ``status.json`` under its root on every tick
+(atomic temp-file + ``os.replace``, so readers never see a torn file);
+``python -m repro serve status`` folds in a PID liveness probe so an
+operator can tell "healthy", "draining", "exited cleanly", and "died
+without drain" apart at a glance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..sweep.store import atomic_write_json
+
+STATUS_NAME = "status.json"
+
+#: Service lifecycle states published in status.json.
+SERVICE_STATES = ("starting", "running", "draining", "drained")
+
+
+@dataclass
+class ServiceStatus:
+    """One published health snapshot."""
+
+    pid: int
+    state: str  # one of SERVICE_STATES
+    epoch: int  # service starts recorded in the journal
+    tick: int   # loop iterations this start (liveness counter)
+    queue_depth: int = 0
+    spool_backlog: int = 0
+    in_flight: int = 0
+    quarantined: int = 0
+    journal_lines: int = 0
+    compactions: int = 0
+    totals: Dict[str, int] = field(default_factory=dict)
+    breakers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pid": self.pid, "state": self.state, "epoch": self.epoch,
+            "tick": self.tick, "queue_depth": self.queue_depth,
+            "spool_backlog": self.spool_backlog,
+            "in_flight": self.in_flight,
+            "quarantined": self.quarantined,
+            "journal_lines": self.journal_lines,
+            "compactions": self.compactions,
+            "totals": self.totals, "breakers": self.breakers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceStatus":
+        return cls(
+            pid=int(data.get("pid", 0)),
+            state=str(data.get("state", "starting")),
+            epoch=int(data.get("epoch", 0)),
+            tick=int(data.get("tick", 0)),
+            queue_depth=int(data.get("queue_depth", 0)),
+            spool_backlog=int(data.get("spool_backlog", 0)),
+            in_flight=int(data.get("in_flight", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+            journal_lines=int(data.get("journal_lines", 0)),
+            compactions=int(data.get("compactions", 0)),
+            totals={
+                str(k): int(v)
+                for k, v in (data.get("totals") or {}).items()
+            },
+            breakers=dict(data.get("breakers") or {}),
+        )
+
+
+def status_path(root: Union[str, Path]) -> Path:
+    return Path(root) / STATUS_NAME
+
+
+def write_status(root: Union[str, Path], status: ServiceStatus) -> None:
+    atomic_write_json(status_path(root), status.to_dict())
+
+
+def read_status(root: Union[str, Path]) -> Optional[ServiceStatus]:
+    try:
+        data = json.loads(status_path(root).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return ServiceStatus.from_dict(data)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for the publishing process."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def format_status(status: ServiceStatus, alive: Optional[bool]) -> str:
+    """Human-readable status block for the CLI."""
+    if alive is None:
+        liveness = "unknown"
+    elif alive:
+        liveness = "alive"
+    elif status.state == "drained":
+        liveness = "exited after drain"
+    else:
+        liveness = "DEAD (no drain recorded; restart to resume)"
+    lines = [
+        f"service      : {status.state} (pid {status.pid}: {liveness})",
+        f"epoch        : {status.epoch} start(s), tick {status.tick}",
+        f"queue        : {status.queue_depth} queued, "
+        f"{status.spool_backlog} spooled, {status.in_flight} in flight, "
+        f"{status.quarantined} quarantined",
+        f"journal      : {status.journal_lines} line(s), "
+        f"{status.compactions} compaction(s)",
+    ]
+    if status.totals:
+        totals = ", ".join(
+            f"{k}={v}" for k, v in sorted(status.totals.items())
+        )
+        lines.append(f"totals       : {totals}")
+    for key, info in sorted(status.breakers.items()):
+        lines.append(
+            f"breaker      : {key[:16]} {info.get('state', '?')} "
+            f"(failures {info.get('failures', 0)}, "
+            f"opens {info.get('opens', 0)}, "
+            f"retry in {info.get('remaining_s', 0.0):.1f}s)"
+        )
+    return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Robustness rules: no silently swallowed exceptions.
+"""Robustness rules: no swallowed exceptions, no unbounded waits.
 
 The resilience layer's whole premise is that failures become *structured
 records* (FailedRun, journal entries, fault counters) rather than
@@ -14,6 +14,14 @@ silently wrong results.  ROB001 flags the two swallowing shapes:
 Narrow handlers (``except OSError: pass`` around best-effort cleanup)
 are deliberately not flagged: swallowing a *specific* expected error is
 a decision; swallowing *everything* is a bug magnet.
+
+ROB002 guards the other hang family the serve/supervisor layer must
+never reintroduce: a retry/poll loop that sleeps forever.  A
+``while True:`` (or any constant-true test) whose body calls ``sleep``
+but contains no ``break``/``return``/``raise`` has no attempt bound and
+no deadline — a wedged dependency turns the process into a zombie that
+supervision cannot distinguish from slow progress.  Bound the wait with
+an attempt budget, a deadline, or an exit condition.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ from typing import Iterator
 
 from ..engine import FileContext, Rule, register
 from ..findings import Finding
+from .common import ImportMap, call_name
+
+#: Blocking-wait calls that make a constant-true loop an unbounded wait.
+_SLEEP_FNS = {"time.sleep"}
 
 #: Catch-all exception names whose silent swallowing ROB001 flags.
 _BROAD = {"Exception", "BaseException"}
@@ -97,4 +109,58 @@ class SwallowedExceptionRule(Rule):
                     f"disappear; catch the specific exception or turn it "
                     f"into a structured record (FailedRun, journal entry, "
                     f"fault counter)",
+                )
+
+
+def _constant_true(test: ast.AST) -> bool:
+    """True for ``while True:`` / ``while 1:`` style tests."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _loop_statements(body):
+    """Statements inside a loop body, excluding nested function scopes."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+@register
+class UnboundedSleepLoopRule(Rule):
+    id = "ROB002"
+    title = "sleep loop with no attempt bound or deadline"
+    scopes = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _constant_true(node.test):
+                continue  # a real condition is itself an exit path
+            sleeps = False
+            exits = False
+            for stmt in _loop_statements(node.body):
+                if isinstance(stmt, (ast.Break, ast.Return, ast.Raise)):
+                    exits = True
+                    break
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) and (
+                        call_name(imports, sub) in _SLEEP_FNS
+                    ):
+                        sleeps = True
+            if sleeps and not exits:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "'while True' loop sleeps with no break/return/raise: "
+                    "an unbounded wait that supervision cannot tell from "
+                    "progress; bound it with an attempt budget or "
+                    "deadline",
                 )

@@ -108,9 +108,11 @@ class SweepJournal:
             "attempts": attempts,
             "cache_hit": cache_hit,
         }
-        if error:
+        if error is not None:
             # Bounded: keep the tail, which carries the innermost frame
             # and the exception line — the attribution that matters.
+            # ``is not None`` (not truthiness): a failure whose message
+            # is an empty string still journals its attribution field.
             payload["error"] = error[-2000:]
         self._append(payload)
 

@@ -252,6 +252,7 @@ class SweepRunner:
         timeout_s: Optional[float] = None,
         retries: int = 0,
         backoff_s: float = 0.25,
+        max_backoff_s: Optional[float] = 60.0,
         resume: bool = False,
         use_journal: bool = True,
     ) -> None:
@@ -261,7 +262,8 @@ class SweepRunner:
         self.cache_dir = str(cache_dir)
         self.workers = workers or (os.cpu_count() or 1)
         self.policy = SupervisorPolicy(
-            timeout_s=timeout_s, retries=retries, backoff_s=backoff_s
+            timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+            max_backoff_s=max_backoff_s,
         )
         self.policy.validate()
         self.resume = resume
@@ -435,7 +437,9 @@ class SweepRunner:
                     raise
                 except Exception:
                     if attempt <= self.policy.retries:
-                        sleep(self.policy.backoff_for(attempt + 1))
+                        sleep(self.policy.backoff_for(
+                            attempt + 1, token=spec.key()
+                        ))
                         continue
                     self._note_failure(
                         summary,

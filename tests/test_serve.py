@@ -1,0 +1,483 @@
+"""The experiment service: admission, breakers, journal, recovery, drain."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import ServeConfig
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionDecision,
+    AdmissionQueue,
+    CircuitBreaker,
+    ExperimentService,
+    ServiceJournal,
+    submit_spec,
+)
+from repro.serve.status import (
+    ServiceStatus,
+    format_status,
+    pid_alive,
+    read_status,
+)
+from repro.sweep import ExperimentSpec, run_spec
+from repro.workloads.trace import WorkloadScale
+
+TINY = WorkloadScale.tiny()
+
+
+def _spec(workload="pr", scheme="pipm", **scheme_kwargs):
+    return ExperimentSpec.build(
+        workload, scheme,
+        config=SystemConfig.scaled(num_hosts=4),
+        scale=TINY,
+        scheme_kwargs=scheme_kwargs,
+    )
+
+
+def _poison_spec():
+    """Parses and journals fine; every worker dispatch raises."""
+    return _spec(scheme_kwargs_marker=1)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestAdmissionQueue:
+    def test_limit_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            AdmissionQueue(0)
+
+    def test_decision_reason_vocabulary_enforced(self):
+        with pytest.raises(ValueError, match="reason"):
+            AdmissionDecision(False, "because")
+
+    def test_fifo_order_and_take(self):
+        queue = AdmissionQueue(8)
+        for name in ("a", "b", "c"):
+            assert queue.offer(name, name.upper()).admitted
+        assert queue.take(2) == [("a", "A"), ("b", "B")]
+        assert queue.take(5) == [("c", "C")]
+        assert len(queue) == 0
+
+    def test_duplicate_rejected_with_reason(self):
+        queue = AdmissionQueue(8)
+        assert queue.offer("k", 1).admitted
+        decision = queue.offer("k", 2)
+        assert not decision.admitted
+        assert decision.reason == "duplicate"
+        assert len(queue) == 1
+
+    def test_capacity_is_a_hard_bound(self):
+        queue = AdmissionQueue(2)
+        assert queue.offer("a", 1).admitted
+        assert queue.offer("b", 2).admitted
+        assert queue.full and queue.room == 0
+        decision = queue.offer("c", 3)
+        assert not decision.admitted
+        assert decision.reason == "queue-full"
+        assert queue.keys() == ["a", "b"]
+        # Draining reopens admission.
+        queue.take(1)
+        assert queue.offer("c", 3).admitted
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=5.0, cap=20.0):
+        return CircuitBreaker(threshold, cooldown, cap, clock=clock)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(0, 1.0, 2.0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(1, 2.0, 1.0)
+
+    def test_trips_at_threshold_then_quarantines(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        assert breaker.admit() == "ok"
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.state == CLOSED
+        assert breaker.record_failure() is True
+        assert breaker.state == OPEN
+        assert breaker.admit() == "quarantined"
+        assert breaker.remaining_s() == pytest.approx(5.0)
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit() == "probe"
+        assert breaker.state == HALF_OPEN
+        assert breaker.admit() == "quarantined"  # probe slot committed
+
+    def test_probe_success_closes_and_resets(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit() == "probe"
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.failures == 0 and breaker.opens == 0
+        assert breaker.admit() == "ok"
+
+    def test_probe_failure_doubles_cooldown_capped(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, cooldown=5.0, cap=12.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.current_cooldown_s() == 5.0
+        # First failed probe: cooldown doubles to 10s.
+        clock.advance(5.0)
+        assert breaker.admit() == "probe"
+        assert breaker.record_failure() is True
+        assert breaker.remaining_s() == pytest.approx(10.0)
+        # Second failed probe: 20s would exceed the cap; clamps to 12s.
+        clock.advance(10.0)
+        assert breaker.admit() == "probe"
+        breaker.record_failure()
+        assert breaker.remaining_s() == pytest.approx(12.0)
+
+    def test_restore_rearms_cooldown_from_now(self):
+        clock = FakeClock(100.0)
+        breaker = self._breaker(clock)
+        breaker.restore(OPEN, failures=3, opens=2)
+        assert breaker.state == OPEN
+        assert breaker.remaining_s() == pytest.approx(10.0)  # 5 * 2^1
+        clock.advance(10.0)
+        assert breaker.admit() == "probe"
+        # A closed restore carries counters but admits freely.
+        other = self._breaker(FakeClock())
+        other.restore(CLOSED, failures=1, opens=0)
+        assert other.admit() == "ok"
+
+
+class TestServiceJournal:
+    def test_rejects_unknown_state(self, tmp_path):
+        with pytest.raises(ValueError, match="state"):
+            ServiceJournal(tmp_path).transition("k", "meditating")
+
+    def test_fold_tracks_lifecycle_and_totals(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.epoch(pid=1)
+        journal.transition("k1", "submitted", label="pr/pipm")
+        journal.transition("k1", "admitted")
+        journal.transition("k1", "running")
+        journal.transition("k1", "done", attempts=1)
+        journal.transition("k2", "submitted")
+        journal.transition("k2", "done", cache_hit=True)
+        journal.reject("queue-full", key="k3")
+        view = journal.fold()
+        assert view.epoch == 1
+        assert view.entries["k1"].state == "done"
+        assert view.entries["k1"].label == "pr/pipm"
+        assert view.entries["k1"].runs == 1
+        assert view.entries["k2"].cache_hits == 1
+        assert view.entries["k2"].runs == 0
+        assert view.totals["executions"] == 1
+        assert view.totals["cache_hit_completions"] == 1
+        assert view.totals["rejected"] == 1
+
+    def test_empty_string_error_survives_fold(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.transition("k", "failed", error="")
+        assert journal.fold().entries["k"].error == ""
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.transition("k1", "submitted")
+        journal.transition("k1", "running")
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"event": "state", "key": "k1", "sta')
+        view = journal.fold()
+        assert view.entries["k1"].state == "running"
+        assert view.lines == 2
+
+    def test_compaction_bounds_lines_and_keeps_accounting(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        journal.epoch(pid=1)
+        for step in ("submitted", "admitted", "running", "done"):
+            journal.transition("k1", step, label="pr/pipm")
+        journal.transition("k2", "submitted")
+        journal.transition("k2", "done", cache_hit=True)
+        before = journal.fold()
+        folded = journal.compact()
+        assert folded == before.lines - 1
+        assert journal.line_count() == 1
+        after = journal.fold()
+        assert after.entries["k1"].runs == 1
+        assert after.entries["k1"].label == "pr/pipm"
+        assert after.entries["k2"].cache_hits == 1
+        assert after.epoch == 1
+        assert after.compactions == 1
+        assert after.totals == before.totals
+        # Appends after compaction fold on top of the snapshot, and a
+        # second completion of k1 keeps accumulating its run counter.
+        journal.transition("k1", "submitted")
+        journal.transition("k1", "done")
+        assert journal.fold().entries["k1"].runs == 2
+
+    def test_repeated_compaction_is_idempotent(self, tmp_path):
+        journal = ServiceJournal(tmp_path)
+        for _ in range(3):
+            journal.transition("k", "submitted")
+            journal.transition("k", "done")
+        journal.compact()
+        first = journal.fold()
+        journal.compact()
+        second = journal.fold()
+        assert second.entries["k"].runs == first.entries["k"].runs == 3
+        assert second.compactions == 2
+        assert journal.line_count() == 1
+
+    def test_kill_mid_compaction_leaves_old_journal(self, tmp_path):
+        """A temp file left by a dead compactor is swept; log intact."""
+        journal = ServiceJournal(tmp_path)
+        journal.transition("k1", "submitted")
+        journal.transition("k1", "done")
+        # Simulate a compactor killed after writing its temp file but
+        # before the atomic os.replace: the real journal is untouched.
+        orphan = tmp_path / f".{journal.path.name}.dead0.tmp"
+        orphan.write_bytes(b'{"event": "snapshot", "entries": []}\n')
+        view = journal.fold()
+        assert view.entries["k1"].state == "done"
+        assert journal.cleanup_temp() == 1
+        assert not orphan.exists()
+        assert journal.fold().entries["k1"].runs == 1
+
+    def test_missing_journal_folds_empty(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "nowhere")
+        view = journal.fold()
+        assert view.entries == {} and view.lines == 0
+        assert journal.line_count() == 0
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        ServeConfig().validate()
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ServeConfig(queue_limit=0).validate()
+        with pytest.raises(ValueError):
+            ServeConfig(compact_every=2).validate()
+        with pytest.raises(ValueError):
+            ServeConfig(
+                breaker_cooldown_s=10.0, breaker_cooldown_max_s=1.0
+            ).validate()
+
+    def test_round_trip(self):
+        config = ServeConfig(slots=3, breaker_threshold=5)
+        again = ServeConfig.from_dict(config.to_dict())
+        assert again == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        config = ServeConfig.from_dict({"slots": 1, "vibe": "immaculate"})
+        assert config.slots == 1
+
+
+class TestStatus:
+    def test_round_trip_and_liveness(self, tmp_path):
+        import os
+
+        status = ServiceStatus(
+            pid=os.getpid(), state="running", epoch=2, tick=9,
+            queue_depth=1, totals={"done": 4},
+            breakers={"k": {"state": "open", "failures": 3, "opens": 1,
+                            "remaining_s": 4.5}},
+        )
+        from repro.serve.status import write_status
+
+        write_status(tmp_path, status)
+        loaded = read_status(tmp_path)
+        assert loaded == status
+        assert pid_alive(loaded.pid)
+        assert not pid_alive(-1)
+        text = format_status(loaded, alive=True)
+        assert "running" in text and "alive" in text and "done=4" in text
+
+    def test_dead_without_drain_is_called_out(self):
+        status = ServiceStatus(pid=1, state="running", epoch=1, tick=1)
+        assert "DEAD" in format_status(status, alive=False)
+        drained = ServiceStatus(pid=1, state="drained", epoch=1, tick=1)
+        assert "exited after drain" in format_status(drained, alive=False)
+
+    def test_missing_status_reads_none(self, tmp_path):
+        assert read_status(tmp_path / "nowhere") is None
+
+
+def _service(tmp_path, clock=None, **overrides):
+    overrides.setdefault("retries", 0)
+    overrides.setdefault("backoff_s", 0.01)
+    overrides.setdefault("breaker_cooldown_s", 0.2)
+    overrides.setdefault("breaker_cooldown_max_s", 1.0)
+    overrides.setdefault("tick_s", 0.01)
+    config = ServeConfig(**overrides)
+    kwargs = {"clock": clock} if clock is not None else {}
+    return ExperimentService(tmp_path / "svc", config=config, **kwargs)
+
+
+class TestExperimentService:
+    def test_submit_is_idempotent_by_content_key(self, tmp_path):
+        spec = _spec()
+        first = submit_spec(tmp_path, spec)
+        second = submit_spec(tmp_path, spec)
+        assert first == second
+        assert len(list((tmp_path / "spool").glob("*.json"))) == 1
+
+    def test_exit_when_idle_completes_submissions(self, tmp_path):
+        service = _service(tmp_path, slots=2)
+        specs = [_spec("pr", "pipm"), _spec("pr", "native")]
+        for spec in specs:
+            submit_spec(service.root, spec)
+        assert service.run(exit_when_idle=True) == 0
+        view = service.journal.fold()
+        for spec in specs:
+            entry = view.entries[spec.key()]
+            assert entry.state == "done"
+            assert entry.runs == 1
+        assert view.totals["executions"] == len(specs)
+        assert all(spec.key() in service.store for spec in specs)
+        # The spool was drained and the accepted payloads persisted.
+        assert not list(service.spool.glob("*.json"))
+        status = read_status(service.root)
+        assert status.state == "drained"
+
+    def test_resubmitting_done_spec_is_a_cache_hit(self, tmp_path):
+        service = _service(tmp_path)
+        spec = _spec()
+        submit_spec(service.root, spec)
+        assert service.run(exit_when_idle=True) == 0
+        submit_spec(service.root, spec)
+        again = _service(tmp_path)
+        assert again.run(exit_when_idle=True) == 0
+        entry = again.journal.fold().entries[spec.key()]
+        assert entry.runs == 1          # executed exactly once, ever
+        assert entry.cache_hits >= 1
+
+    def test_recovery_completes_published_result_without_rerun(
+        self, tmp_path
+    ):
+        """Kill after ResultStore.put but before journalling ``done``."""
+        spec = _spec()
+        service = _service(tmp_path)
+        service._ensure_dirs()
+        # The dead service accepted the spec and its worker published
+        # the result, but the ``done`` transition never hit the journal.
+        run_spec(spec, service.cache_dir)
+        from repro.sweep.store import atomic_write_json
+
+        atomic_write_json(
+            service.specs_dir / f"{spec.key()}.json", spec.to_dict()
+        )
+        journal = ServiceJournal(service.root)
+        journal.epoch(pid=99999)
+        journal.transition("k-" + spec.key(), "done")  # unrelated, done
+        journal.transition(spec.key(), "submitted", label=spec.label())
+        journal.transition(spec.key(), "admitted")
+        journal.transition(spec.key(), "running")
+        fresh = _service(tmp_path)
+        assert fresh.run(exit_when_idle=True) == 0
+        entry = fresh.journal.fold().entries[spec.key()]
+        assert entry.state == "done"
+        assert entry.runs == 0          # recovery never re-executed it
+        assert entry.cache_hits == 1
+
+    def test_recovery_resumes_pending_spec_exactly_once(self, tmp_path):
+        """Kill mid-run, before any result: restart runs it once."""
+        spec = _spec()
+        service = _service(tmp_path)
+        service._ensure_dirs()
+        from repro.sweep.store import atomic_write_json
+
+        atomic_write_json(
+            service.specs_dir / f"{spec.key()}.json", spec.to_dict()
+        )
+        journal = ServiceJournal(service.root)
+        journal.epoch(pid=99999)
+        journal.transition(spec.key(), "submitted", label=spec.label())
+        journal.transition(spec.key(), "running")
+        fresh = _service(tmp_path)
+        assert fresh.run(exit_when_idle=True) == 0
+        entry = fresh.journal.fold().entries[spec.key()]
+        assert entry.state == "done" and entry.runs == 1
+
+    def test_recovery_marks_missing_payload_lost(self, tmp_path):
+        journal = ServiceJournal(tmp_path / "svc")
+        journal.transition("gone", "admitted", label="x")
+        service = _service(tmp_path)
+        assert service.run(exit_when_idle=True) == 0
+        entry = service.journal.fold().entries["gone"]
+        assert entry.state == "lost"
+        assert "missing" in entry.error
+
+    def test_poison_spec_trips_breaker_without_stalling_queue(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        service = _service(
+            tmp_path, clock=clock, slots=2, breaker_threshold=2
+        )
+        poison = _poison_spec()
+        healthy = _spec()
+        submit_spec(service.root, poison)
+        submit_spec(service.root, healthy)
+        assert service.run(exit_when_idle=True) == 0
+        view = service.journal.fold()
+        assert view.entries[healthy.key()].state == "done"
+        bad = view.entries[poison.key()]
+        assert bad.state == "quarantined"
+        assert bad.opens == 1
+        assert bad.failures >= 2
+        assert bad.error            # attribution journalled
+        breaker = service.breakers.get(poison.key())
+        assert breaker.state == OPEN
+        # While the cooldown runs, a resubmission is refused outright.
+        clock.advance(0.0)
+        assert breaker.admit() == "quarantined"
+
+    def test_drain_stops_admitting_and_exits_zero(self, tmp_path):
+        service = _service(tmp_path)
+        submit_spec(service.root, _spec())
+        service.request_drain()
+        assert service.run() == 0
+        # Never admitted: the submission is still spooled for later.
+        assert len(list(service.spool.glob("*.json"))) == 1
+        assert read_status(service.root).state == "drained"
+
+    def test_invalid_submission_moved_aside_and_journalled(self, tmp_path):
+        service = _service(tmp_path)
+        service._ensure_dirs()
+        (service.spool / "garbage.json").write_text("{not json")
+        assert service.run(exit_when_idle=True) == 0
+        assert (service.rejected_dir / "garbage.json").exists()
+        assert not list(service.spool.glob("*.json"))
+        assert service.journal.fold().totals["rejected"] == 1
+
+    def test_service_compacts_when_journal_grows(self, tmp_path):
+        service = _service(tmp_path, compact_every=8)
+        journal = ServiceJournal(service.root)
+        for i in range(10):
+            journal.transition(f"k{i}", "done")
+        assert service.run(exit_when_idle=True) == 0
+        assert service.journal.line_count() <= 8
+        # Accounting survived the fold.
+        assert service.journal.fold().totals["executions"] == 10

@@ -1,0 +1,206 @@
+"""Chaos acceptance for `repro serve`: SIGKILL twice, drain, no re-runs.
+
+The scripted sequence from the service's acceptance criteria, end to
+end against the real CLI in a subprocess:
+
+1. submit N healthy specs plus one poison spec,
+2. start the daemon and SIGKILL it twice mid-run,
+3. restart and SIGTERM-drain,
+4. assert every healthy spec completed with **zero duplicate
+   simulation executions** (per-key ``runs <= 1`` in the journal, which
+   survives compaction), the poison spec tripped its breaker without
+   stalling the queue, the compacted journal stayed bounded, and the
+   drain exited 0.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import SystemConfig
+from repro.serve import ServiceJournal, submit_spec
+from repro.serve.status import read_status
+from repro.sweep import ExperimentSpec, ResultStore
+from repro.workloads.trace import WorkloadScale
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+TINY = WorkloadScale.tiny()
+
+#: Journal line bound the compacted log must stay under: the compaction
+#: threshold we run the daemon with, plus one batch of slack for the
+#: transitions appended since the last fold.
+COMPACT_EVERY = 20
+JOURNAL_BOUND = COMPACT_EVERY + 16
+
+
+def _spec(workload, scheme, **scheme_kwargs):
+    return ExperimentSpec.build(
+        workload, scheme,
+        config=SystemConfig.scaled(num_hosts=4),
+        scale=TINY,
+        scheme_kwargs=scheme_kwargs,
+    )
+
+
+def _serve(root, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "run",
+            "--dir", str(root),
+            "--slots", "2",
+            "--tick-s", "0.05",
+            "--retries", "0",
+            "--backoff-s", "0.01",
+            "--breaker-threshold", "2",
+            "--breaker-cooldown-s", "300",   # park poison for the test
+            "--compact-every", str(COMPACT_EVERY),
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _wait(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _done_keys(journal):
+    return {
+        key for key, entry in journal.fold().entries.items()
+        if entry.state == "done"
+    }
+
+
+def _wait_until_serving(root, daemon):
+    """Block until *this* daemon's loop is up (drain handler armed).
+
+    A SIGTERM that lands while the interpreter is still importing hits
+    the default disposition and kills the process — that window is
+    interpreter startup, not service code, so the test steps over it.
+    """
+
+    def loop_started():
+        status = read_status(root)
+        return (
+            status is not None
+            and status.pid == daemon.pid
+            and status.state == "running"
+        )
+
+    _wait(loop_started, 60, "service loop to start")
+
+
+def test_chaos_kill_twice_then_drain(tmp_path):
+    root = tmp_path / "svc"
+    healthy = [
+        _spec("pr", "native"),
+        _spec("pr", "pipm"),
+        _spec("ycsb", "pipm"),
+    ]
+    poison = _spec("pr", "pipm", chaos_poison_marker=1)
+    for spec in healthy + [poison]:
+        submit_spec(root, spec)
+    journal = ServiceJournal(root)
+    healthy_keys = {spec.key() for spec in healthy}
+
+    # Round 1: run until first blood, then SIGKILL.
+    daemon = _serve(root)
+    try:
+        _wait(lambda: len(_done_keys(journal)) >= 1, 120,
+              "first completion")
+    finally:
+        daemon.kill()
+        daemon.wait(30)
+
+    # Round 2: resume, make some progress, SIGKILL again.  The service
+    # may already have everything — the kill must be safe regardless.
+    daemon = _serve(root)
+    try:
+        _wait(lambda: journal.fold().epoch >= 2, 60, "second epoch")
+        time.sleep(1.0)
+    finally:
+        daemon.kill()
+        daemon.wait(30)
+
+    # Round 3: resume, finish every healthy spec, then drain.
+    daemon = _serve(root)
+    try:
+        _wait_until_serving(root, daemon)
+        _wait(lambda: healthy_keys <= _done_keys(journal), 180,
+              "all healthy specs done")
+        _wait(
+            lambda: journal.fold().entries[poison.key()].state
+            == "quarantined",
+            120, "poison spec quarantined",
+        )
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(60)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(30)
+    assert code == 0, daemon.stdout.read().decode()
+
+    view = journal.fold()
+    # Zero duplicate executions: the per-key run counters are
+    # cumulative across every epoch and survive compaction.
+    for key in healthy_keys:
+        entry = view.entries[key]
+        assert entry.state == "done"
+        assert entry.runs <= 1, f"{key} executed {entry.runs} times"
+        assert entry.runs + entry.cache_hits >= 1
+    assert view.totals["executions"] == sum(
+        view.entries[key].runs for key in view.entries
+    )
+    store = ResultStore(root / "cache")
+    assert healthy_keys <= set(store.keys())
+    assert poison.key() not in store
+
+    # The poison spec is parked open, not hot-looping, not blocking.
+    bad = view.entries[poison.key()]
+    assert bad.state == "quarantined"
+    assert bad.opens >= 1
+    assert bad.failures >= 2
+
+    # Compaction kept the journal bounded despite three epochs.
+    assert journal.line_count() < JOURNAL_BOUND
+
+    status = read_status(root)
+    assert status.state == "drained"
+    assert status.queue_depth == 0 and status.in_flight == 0
+
+
+def test_status_cli_reports_dead_daemon(tmp_path):
+    root = tmp_path / "svc"
+    submit_spec(root, _spec("pr", "native"))
+    journal = ServiceJournal(root)
+    daemon = _serve(root)
+    try:
+        _wait(lambda: journal.fold().epoch >= 1, 60, "first epoch")
+    finally:
+        daemon.kill()
+        daemon.wait(30)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    probe = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "status",
+         "--dir", str(root)],
+        env=env, capture_output=True, text=True,
+    )
+    # A killed daemon must be reported as a corpse, exit code 1.
+    assert probe.returncode == 1
+    assert "DEAD" in probe.stdout

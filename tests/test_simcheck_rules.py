@@ -512,3 +512,93 @@ class TestRobustnessRules:
                     pass
         """)
         assert findings == []
+
+
+class TestUnboundedSleepLoopRule:
+    def test_while_true_sleep_without_exit_flagged(self):
+        findings = _lint("""
+            import time
+            def watch(path):
+                while True:
+                    poll(path)
+                    time.sleep(1.0)
+        """)
+        assert _rules(findings) == ["ROB002"]
+        assert findings[0].line == 4
+
+    def test_from_import_alias_resolved(self):
+        findings = _lint("""
+            from time import sleep as snooze
+            def watch(path):
+                while 1:
+                    poll(path)
+                    snooze(0.5)
+        """)
+        assert _rules(findings) == ["ROB002"]
+
+    def test_break_bounds_the_loop(self):
+        findings = _lint("""
+            import time
+            def watch(path, deadline):
+                while True:
+                    if ready(path) or time.monotonic() > deadline:
+                        break
+                    time.sleep(1.0)
+        """)
+        assert findings == []
+
+    def test_return_and_raise_bound_the_loop(self):
+        findings = _lint("""
+            import time
+            def wait(path, attempts):
+                while True:
+                    if ready(path):
+                        return path
+                    if attempts == 0:
+                        raise TimeoutError(path)
+                    attempts -= 1
+                    time.sleep(0.1)
+        """)
+        assert findings == []
+
+    def test_real_condition_not_flagged(self):
+        findings = _lint("""
+            import time
+            def drain(queue):
+                while queue:
+                    queue.pop()
+                    time.sleep(0.01)
+        """)
+        assert findings == []
+
+    def test_loop_without_sleep_not_flagged(self):
+        findings = _lint("""
+            def spin(queue):
+                while True:
+                    queue.tick()
+        """)
+        assert findings == []
+
+    def test_sleep_inside_nested_def_not_attributed_to_loop(self):
+        """A loop that *defines* a sleeper never blocks on it itself;
+        exits inside the nested function must not count either."""
+        findings = _lint("""
+            import time
+            def build(jobs):
+                while True:
+                    def worker():
+                        time.sleep(5)
+                        return 1
+                    jobs.append(worker)
+        """)
+        assert findings == []
+
+    def test_suppression_comment_honoured(self):
+        findings = _lint("""
+            import time
+            def serve_forever(handler):
+                while True:  # simcheck: ignore[ROB002]
+                    handler.poll()
+                    time.sleep(0.2)
+        """)
+        assert findings == []

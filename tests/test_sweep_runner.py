@@ -278,6 +278,40 @@ class TestSweepJournal:
         with pytest.raises(ValueError, match="status"):
             SweepJournal(tmp_path).record("k", "l", "exploded")
 
+    def test_empty_string_error_is_not_dropped(self, tmp_path):
+        """A failure whose message is '' must still journal the field.
+
+        The old ``if error:`` truthiness test silently discarded it,
+        making the entry indistinguishable from a success record."""
+        journal = SweepJournal(tmp_path)
+        journal.record("k1", "l", "failed", error="")
+        entry = journal.outcomes()["k1"]
+        assert entry.error == ""
+        journal.record("k2", "l", "failed")  # genuinely no attribution
+        assert journal.outcomes()["k2"].error is None
+
+    def test_two_concurrent_invocations_interleave_cleanly(self, tmp_path):
+        """Two writers on the same journal (O_APPEND, one write per
+        line) interleave without tearing, and the fold is last-wins."""
+        left = SweepJournal(tmp_path)
+        right = SweepJournal(tmp_path)
+        left.begin(2)
+        right.begin(2)
+        for run in range(25):
+            left.record("shared", "pr/pipm", "failed",
+                        error=f"left {run}")
+            right.record(f"r{run}", "pr/native", "ok")
+            left.record(f"l{run}", "pr/pipm", "ok")
+            right.record("shared", "pr/pipm", "ok", cache_hit=True)
+        outcomes = left.outcomes()
+        assert outcomes == right.outcomes()  # one log, two handles
+        assert len(outcomes) == 51
+        assert len(left.path.read_text().splitlines()) == 102
+        assert outcomes["shared"].succeeded  # right's record landed last
+        assert all(outcomes[f"l{i}"].succeeded for i in range(25))
+        assert all(outcomes[f"r{i}"].succeeded for i in range(25))
+        assert left.epochs() == 2
+
     def test_missing_journal_reads_empty(self, tmp_path):
         journal = SweepJournal(tmp_path / "nowhere")
         assert journal.outcomes() == {}

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import atexit
 import os
 import signal
 import time
@@ -31,6 +32,11 @@ def _worker(payload):
             return "recovered"
         marker.write_text("attempted")
         raise RuntimeError("first attempt fails")
+    if mode == "linger":
+        # Deliver the result, then wedge the interpreter's shutdown: a
+        # stuck destructor/atexit hook must not block the supervisor.
+        atexit.register(time.sleep, 600)
+        return "lingered"
     raise AssertionError(f"unknown mode {mode!r}")
 
 
@@ -62,6 +68,46 @@ class TestPolicy:
         assert policy.backoff_for(2) == 0.5
         assert policy.backoff_for(3) == 1.0
         assert policy.backoff_for(4) == 2.0
+
+    def test_backoff_capped_at_max(self):
+        policy = SupervisorPolicy(backoff_s=0.5, max_backoff_s=1.5)
+        assert policy.backoff_for(2) == 0.5
+        assert policy.backoff_for(3) == 1.0
+        assert policy.backoff_for(4) == 1.5
+        assert policy.backoff_for(20) == 1.5
+        # None disables the cap (the pre-existing unbounded behaviour).
+        uncapped = SupervisorPolicy(backoff_s=0.5, max_backoff_s=None)
+        assert uncapped.backoff_for(12) == 0.5 * 2 ** 10
+
+    def test_backoff_cap_and_jitter_validation(self):
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            SupervisorPolicy(max_backoff_s=0.0).validate()
+        with pytest.raises(ValueError, match="jitter"):
+            SupervisorPolicy(jitter=1.0).validate()
+        with pytest.raises(ValueError, match="jitter"):
+            SupervisorPolicy(jitter=-0.1).validate()
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = SupervisorPolicy(backoff_s=1.0, jitter=0.5, jitter_seed=7)
+        delays = [policy.backoff_for(2, token="job-a") for _ in range(3)]
+        # Same (seed, token, attempt) always draws the same multiplier.
+        assert len(set(delays)) == 1
+        assert 0.5 <= delays[0] <= 1.5
+        # Different tokens decorrelate, so a retry storm spreads out.
+        others = {policy.backoff_for(2, token=f"job-{i}")
+                  for i in range(20)}
+        assert len(others) > 1
+        for delay in others:
+            assert 0.5 <= delay <= 1.5
+        # A different seed re-rolls every draw.
+        reseeded = SupervisorPolicy(
+            backoff_s=1.0, jitter=0.5, jitter_seed=8
+        )
+        assert reseeded.backoff_for(2, token="job-a") != delays[0]
+
+    def test_zero_jitter_stays_exact(self):
+        policy = SupervisorPolicy(backoff_s=0.5, jitter=0.0)
+        assert policy.backoff_for(3, token="anything") == 1.0
 
     def test_slots_validation(self):
         with pytest.raises(ValueError, match="slots"):
@@ -138,6 +184,18 @@ class TestOutcomes:
         assert outcomes["good-2"].result == "y"
         assert outcomes["bad"].failure.status == "failed"
         assert outcomes["stuck"].failure.status == "timeout"
+
+    def test_lingering_worker_does_not_block_settle(self):
+        """A child that wedges after reporting its result is escalated
+        (SIGTERM, then SIGKILL) instead of being joined forever."""
+        started = time.monotonic()
+        outcomes = _run([_job("zombie", mode="linger")])
+        elapsed = time.monotonic() - started
+        outcome = outcomes["zombie"]
+        assert outcome.ok
+        assert outcome.result == "lingered"
+        # Bounded by the grace escalation, nowhere near the 600s wedge.
+        assert elapsed < 30.0
 
     def test_outcome_ok_property(self):
         assert JobOutcome(key="k", label="l", attempts=1, result=3).ok
