@@ -13,20 +13,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from .replacement import BY_STAMP
-
 
 class DirectoryEntry:
     """Directory state for one tracked cache line."""
 
-    __slots__ = ("line", "state", "sharers", "owner", "stamp")
+    __slots__ = ("line", "state", "sharers", "owner")
 
     def __init__(self, line: int, state: object, owner: int = -1):
         self.line = line
         self.state = state
         self.sharers: Set[int] = set()
         self.owner = owner
-        self.stamp = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -49,10 +46,14 @@ class SlicedDirectory:
         self.slices = slices
         self.name = name
         self._mask = sets_per_slice - 1
+        # Each set dict doubles as the recency order (move-to-end on every
+        # lookup hit and allocate), so the LRU victim is always the first
+        # key — O(1) instead of a min-by-stamp scan over the ways.  The
+        # move-to-end order is exactly the order increasing stamps would
+        # recover, so victim selection is unchanged.
         self._arrays: List[List[Dict[int, DirectoryEntry]]] = [
             [dict() for _ in range(sets_per_slice)] for _ in range(slices)
         ]
-        self._tick = 0
         self.lookups = 0
         self.hits = 0
         self.capacity_evictions = 0
@@ -64,11 +65,12 @@ class SlicedDirectory:
     # -- operations -----------------------------------------------------
     def lookup(self, line: int) -> Optional[DirectoryEntry]:
         self.lookups += 1
-        entry = self._set_for(line).get(line)
+        dir_set = self._set_for(line)
+        entry = dir_set.get(line)
         if entry is not None:
             self.hits += 1
-            self._tick += 1
-            entry.stamp = self._tick
+            del dir_set[line]
+            dir_set[line] = entry
         return entry
 
     def peek(self, line: int) -> Optional[DirectoryEntry]:
@@ -82,21 +84,19 @@ class SlicedDirectory:
         back-invalidate from the owning caches, or ``None``.
         """
         dir_set = self._set_for(line)
-        self._tick += 1
         entry = dir_set.get(line)
         if entry is not None:
             entry.state = state
             if owner >= 0:
                 entry.owner = owner
-            entry.stamp = self._tick
+            del dir_set[line]
+            dir_set[line] = entry
             return entry, None
         victim = None
         if len(dir_set) >= self.ways:
-            victim = min(dir_set.values(), key=BY_STAMP)
-            del dir_set[victim.line]
+            victim = dir_set.pop(next(iter(dir_set)))
             self.capacity_evictions += 1
         entry = DirectoryEntry(line, state, owner)
-        entry.stamp = self._tick
         dir_set[line] = entry
         return entry, victim
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional
 
+import numpy as np
+
 from .replacement import LruPolicy, ReplacementPolicy
 
 
@@ -136,6 +138,66 @@ class SetAssocCache:
         return line in self._sets[line & self._mask]
 
     # -- bulk operations -------------------------------------------------
+    def resident_line_array(
+        self, predicate: Optional[Callable[[CacheEntry], bool]] = None
+    ) -> "np.ndarray":
+        """Line indices of every resident entry (optionally filtered).
+
+        A snapshot for array-side membership math (``batch_probe`` /
+        ``numpy.isin``); the order is unspecified.
+        """
+        if predicate is None:
+            it = (line for cache_set in self._sets for line in cache_set)
+        else:
+            it = (
+                entry.line
+                for cache_set in self._sets
+                for entry in cache_set.values()
+                if predicate(entry)
+            )
+        return np.fromiter(it, dtype=np.int64)
+
+    def batch_probe(self, lines: "np.ndarray") -> "np.ndarray":
+        """Residency mask for ``lines`` (no statistics, no recency update).
+
+        Pure tag/index math against the current set state: element ``i`` is
+        True iff ``lines[i]`` is resident right now.
+        """
+        return np.isin(lines, self.resident_line_array())
+
+    def batch_touch(self, lines: "np.ndarray", writes: "np.ndarray") -> None:
+        """Replay a run of guaranteed hits as one bulk update.
+
+        Equivalent, entry for entry and counter for counter, to calling
+        ``lookup(line)`` once per element in order (setting ``dirty`` on
+        writes): the hit counter advances by the run length, every touched
+        line ends at the MRU end of its set in last-touch order (untouched
+        entries keep their relative order), and a line written anywhere in
+        the run is dirty afterwards.  Every line must be resident (probe
+        first).
+        """
+        n = len(lines)
+        if n == 0:
+            return
+        if not self._lru:
+            for i in range(n):
+                entry = self.lookup(int(lines[i]))
+                if writes[i]:
+                    entry.dirty = True
+            return
+        self.hits += n
+        sets = self._sets
+        mask = self._mask
+        # Last-touch order: unique over the reversed run gives each line's
+        # final touch; undoing the reversal sorts oldest-last-touch first.
+        uniq, first_rev = np.unique(lines[::-1], return_index=True)
+        for line in uniq[np.argsort(-first_rev)].tolist():
+            cache_set = sets[line & mask]
+            cache_set[line] = cache_set.pop(line)
+        if writes.any():
+            for line in np.unique(lines[writes]).tolist():
+                sets[line & mask][line].dirty = True
+
     def invalidate_where(
         self, predicate: Callable[[CacheEntry], bool]
     ) -> List[CacheEntry]:
@@ -186,10 +248,19 @@ class SetAssocCache:
 def cache_from_geometry(
     size_bytes: int, ways: int, line_bytes: int = 64, name: str = "cache"
 ) -> SetAssocCache:
-    """Build a cache from size/ways geometry (sets derived)."""
-    sets = size_bytes // (ways * line_bytes)
+    """Build a cache from size/ways geometry (sets derived).
+
+    The set count must be a power of two for index masking.  Sets lost to
+    rounding down are folded back in as extra ways, so the configured
+    capacity is preserved exactly whenever the line count divides the
+    rounded set count — and to within one set's worth of lines otherwise —
+    instead of silently shrinking the cache by up to ~2x.  The effective
+    geometry is exposed as ``num_sets``/``ways``/``capacity`` on the
+    returned cache.
+    """
+    lines = size_bytes // line_bytes
+    sets = lines // ways
     if sets < 1:
         raise ValueError(f"{name}: geometry yields zero sets")
-    # Round down to a power of two so index masking works.
     pow2 = 1 << (sets.bit_length() - 1)
-    return SetAssocCache(pow2, ways, name=name)
+    return SetAssocCache(pow2, lines // pow2, name=name)

@@ -121,6 +121,10 @@ class FaultInjector:
         """When the stall window covering ``now`` ends, if any."""
         return self.plan.stall_resume(host, now)
 
+    def next_stall_start(self, host: int, now: float) -> float:
+        """First stall-window start strictly after ``now`` (inf if none)."""
+        return self.plan.next_stall_start(host, now)
+
     # -- poisoned lines ---------------------------------------------------
     @property
     def next_poison_ns(self) -> float:

@@ -157,3 +157,16 @@ class FaultPlan:
         if start <= now < end:
             return end
         return None
+
+    def next_stall_start(self, host: int, now: float) -> float:
+        """The first stall-window start strictly after ``now`` (inf if none).
+
+        A fence for batched execution: a host known to be outside any
+        window at ``now`` stays outside one until this boundary, so a run
+        of accesses whose clocks stay below it never needs the per-access
+        ``stall_resume`` check.
+        """
+        if host not in self.stall_windows:
+            return float("inf")
+        period = self.config.stall_period_ns
+        return (now // period + 1) * period

@@ -79,29 +79,124 @@ class WorkloadTrace:
     def total_instructions(self) -> int:
         return sum(sum(rec[0] for rec in s) for s in self.streams)
 
+    def baked_arrays(self, host: int, ns_per_instr: float) -> "BakedStream":
+        """``streams[host]`` as a structure-of-arrays :class:`BakedStream`.
+
+        The instruction gap is pre-multiplied into compute nanoseconds (one
+        vectorized multiply at load instead of per access), the write flag
+        becomes a real bool array, and line/page indices are precomputed —
+        the batch engine backend consumes the arrays directly and the loop
+        backend unpacks them into plain tuples via
+        :meth:`BakedStream.records`.
+        """
+        stream = self.streams[host]
+        raw = np.array(stream, dtype=np.int64).reshape(-1, 4)
+        addr = np.ascontiguousarray(raw[:, 1])
+        line = addr >> units.LINE_SHIFT
+        return BakedStream(
+            compute_ns=raw[:, 0] * float(ns_per_instr),
+            addr=addr,
+            is_write=raw[:, 2] != 0,
+            core=np.ascontiguousarray(raw[:, 3]),
+            line=line,
+            page=line >> (units.PAGE_SHIFT - units.LINE_SHIFT),
+        )
+
     def baked_stream(
         self, host: int, ns_per_instr: float
     ) -> List[Tuple[float, int, bool, int]]:
-        """``streams[host]`` as flat run-loop records.
+        """``streams[host]`` as flat run-loop records (the loop backend's
+        view of :meth:`baked_arrays`)."""
+        return self.baked_arrays(host, ns_per_instr).records()
 
-        The instruction gap is pre-multiplied into compute nanoseconds (one
-        multiply per record at load instead of per access) and the write
-        flag becomes a real bool, so the engine's inner loop unpacks plain
-        ``(compute_ns, addr, is_write, core)`` tuples.
+    def validate(
+        self,
+        cxl_capacity: int,
+        total_capacity: int,
+        addr_arrays: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        """Check every address of every host stream against the physical map.
+
+        Addresses must fall in the shared CXL pool ``[0, cxl_capacity)`` or
+        inside the issuing host's *own* local window — an address in another
+        host's window would silently be served as if it were requester-
+        private data.  Vectorized over the full streams; ``addr_arrays``
+        lets callers that already hold the baked SoA address arrays skip
+        rebuilding them.
         """
-        return [
-            (gap * ns_per_instr, addr, bool(is_write), core)
-            for gap, addr, is_write, core in self.streams[host]
-        ]
-
-    def validate(self, cxl_capacity: int, total_capacity: int) -> None:
-        """Sanity-check that every address falls inside the physical map."""
+        if not 0 <= cxl_capacity <= total_capacity:
+            raise ValueError(
+                f"{self.name}: cxl capacity {cxl_capacity} outside total "
+                f"capacity {total_capacity}"
+            )
+        local_capacity, remainder = divmod(
+            total_capacity - cxl_capacity, max(self.num_hosts, 1)
+        )
+        if remainder:
+            raise ValueError(
+                f"{self.name}: local capacity {total_capacity - cxl_capacity}"
+                f" does not divide across {self.num_hosts} hosts"
+            )
         for host, stream in enumerate(self.streams):
-            for gap, addr, is_write, core in stream[:64]:
-                if not 0 <= addr < total_capacity:
-                    raise ValueError(
-                        f"{self.name}: host {host} address {addr:#x} outside map"
-                    )
+            if not stream:
+                continue
+            if addr_arrays is not None:
+                addrs = addr_arrays[host]
+            else:
+                addrs = np.array([rec[1] for rec in stream], dtype=np.int64)
+            window_start = cxl_capacity + host * local_capacity
+            window_end = window_start + local_capacity
+            ok = (addrs >= 0) & (
+                (addrs < cxl_capacity)
+                | ((addrs >= window_start) & (addrs < window_end))
+            )
+            if ok.all():
+                continue
+            index = int(np.argmax(~ok))
+            addr = int(addrs[index])
+            if 0 <= addr < total_capacity:
+                raise ValueError(
+                    f"{self.name}: host {host} record {index} address "
+                    f"{addr:#x} falls inside another host's local window"
+                )
+            raise ValueError(
+                f"{self.name}: host {host} record {index} address "
+                f"{addr:#x} outside the physical map "
+                f"[0, {total_capacity:#x})"
+            )
+
+
+@dataclass
+class BakedStream:
+    """One host's stream as parallel numpy arrays (structure of arrays).
+
+    ``compute_ns`` is float64 (gap * ns_per_instruction), ``addr``/``core``
+    are int64, ``is_write`` is bool, and ``line``/``page`` are the
+    precomputed cache-line and page indices the batch engine backend keys
+    its array probes on.
+    """
+
+    compute_ns: np.ndarray
+    addr: np.ndarray
+    is_write: np.ndarray
+    core: np.ndarray
+    line: np.ndarray
+    page: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    def records(self) -> List[Tuple[float, int, bool, int]]:
+        """Flat ``(compute_ns, addr, is_write, core)`` tuples.
+
+        ``ndarray.tolist`` hands back native Python floats/ints/bools with
+        exactly the values the arrays hold, so the loop backend sees the
+        same records it always did.
+        """
+        return list(zip(
+            self.compute_ns.tolist(), self.addr.tolist(),
+            self.is_write.tolist(), self.core.tolist(),
+        ))
 
 
 @dataclass(frozen=True)
@@ -121,15 +216,24 @@ class MixtureComponent:
 def zipf_indices(
     rng: np.random.Generator, n: int, count: int, alpha: float = 0.99
 ) -> np.ndarray:
-    """``count`` indexes in ``[0, n)`` with zipf-like popularity skew.
+    """``count`` indexes in ``[0, n)`` with zipf popularity skew ``alpha``.
 
-    Uses the bounded-zipf inverse-CDF trick so popular indexes are spread
-    over the range (not clustered at 0) via a fixed permutation.
+    Samples the *bounded* zipf distribution over exactly ``n`` ranks by
+    inverse-CDF (``P(rank k) ∝ (k + 1) ** -alpha``), so any positive skew —
+    including the common ``alpha < 1`` regime that ``numpy.random.zipf``
+    cannot represent — is honored exactly as requested, and no probability
+    mass from an unbounded tail gets clipped onto the last rank.  Popular
+    ranks are spread over the range (not clustered at 0) via a fixed
+    permutation.
     """
     if n <= 0:
         raise ValueError("n must be positive")
-    ranks = rng.zipf(max(alpha, 1.01), size=count)
-    ranks = np.minimum(ranks, n) - 1
+    if alpha <= 0:
+        raise ValueError(f"zipf alpha must be positive, got {alpha}")
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -alpha
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    ranks = np.searchsorted(cdf, rng.random(count), side="right")
     # Spread hot ranks across the region deterministically.
     perm = np.random.default_rng(12345).permutation(n)
     return perm[ranks]

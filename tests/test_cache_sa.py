@@ -115,6 +115,25 @@ class TestGeometry:
         cache = cache_from_geometry(3 * 64 * 8, 8)  # 3 sets -> 2
         assert cache.num_sets == 2
 
+    def test_non_pow2_sets_preserve_capacity(self):
+        # 24 KB / 4-way / 64 B lines = 384 lines = 96 sets.  The old
+        # code rounded 96 sets down to 64 but kept 4 ways, silently
+        # shrinking the cache to 16 KB; the lost sets must fold back in
+        # as extra ways instead.
+        cache = cache_from_geometry(24 * 1024, 4)
+        assert cache.capacity == 384
+        assert cache.num_sets == 64
+        assert cache.ways == 6
+
+    def test_capacity_loss_bounded_by_one_set(self):
+        # 100 lines / 3 ways = 33 sets -> 32 sets; 100 // 32 = 3 ways.
+        # Up to one set's worth of lines may be lost to the division,
+        # never the ~2x the pure rounddown cost.
+        cache = cache_from_geometry(100 * 64, 3)
+        assert cache.num_sets == 32
+        assert cache.capacity == 96
+        assert cache.capacity >= 100 - cache.num_sets
+
 
 class TestReplacementPolicies:
     def _exercise(self, policy):

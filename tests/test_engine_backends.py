@@ -1,0 +1,95 @@
+"""Loop/vector engine-backend equivalence.
+
+The vector backend's contract is *byte identity*: for any trace, scheme,
+and configuration, ``SimulationResult.to_record()`` must match the
+reference loop backend exactly — same floats, same counters, same
+per-host breakdowns.  These tests sweep the profile microbench matrix
+plus the configurations that disable or fence the flattened fast path
+(fault plans, watchdog audits, interval schemes) so both the fast path
+and every bail-to-slow-path seam stay pinned.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import SystemConfig
+from repro.config import FaultConfig
+from repro.policies import make_scheme
+from repro.sim.engine import BACKENDS, SimulationEngine, simulate
+from repro.sim.profile import PROFILE_CASES
+from repro.sim.system import MultiHostSystem
+from repro.workloads.registry import generate
+from repro.workloads.trace import WorkloadScale
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_record(), sort_keys=True)
+
+
+def _trace(workload: str, config: SystemConfig):
+    return generate(
+        workload,
+        num_hosts=config.num_hosts,
+        scale=WorkloadScale.tiny(),
+        cores_per_host=config.cores_per_host,
+    )
+
+
+def _records_for_backends(workload: str, scheme: str, config: SystemConfig):
+    trace = _trace(workload, config)
+    return {
+        backend: _canon(
+            simulate(trace, make_scheme(scheme), config, backend=backend)
+        )
+        for backend in BACKENDS
+    }
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("workload,scheme", PROFILE_CASES)
+    def test_profile_cases_identical(self, workload, scheme):
+        config = SystemConfig.scaled()
+        records = _records_for_backends(workload, scheme, config)
+        assert records["vector"] == records["loop"]
+
+    @pytest.mark.parametrize("scheme", ["native", "pipm"])
+    def test_fault_plan_identical(self, scheme):
+        # Active faults disable the flat path entirely; stall windows and
+        # poison arrivals additionally fence the batched L1-hit path, so
+        # this pins the eventful turn loop against the reference.
+        config = dataclasses.replace(
+            SystemConfig.scaled(), faults=FaultConfig.parse("storm:seed=5")
+        )
+        records = _records_for_backends("pr", scheme, config)
+        assert records["vector"] == records["loop"]
+
+    def test_watchdog_audits_identical(self):
+        config = dataclasses.replace(
+            SystemConfig.scaled(),
+            faults=FaultConfig.parse("none:watchdog-period-ns=5e5"),
+        )
+        records = _records_for_backends("pr", "pipm", config)
+        assert records["vector"] == records["loop"]
+
+    def test_interval_scheme_identical(self):
+        # memtis ticks on an interval: the vector backend must break its
+        # bursts at exactly the tick boundaries the loop backend sees.
+        config = SystemConfig.scaled()
+        records = _records_for_backends("ycsb", "memtis", config)
+        assert records["vector"] == records["loop"]
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, tiny_pr_trace, scaled_config):
+        system = MultiHostSystem(scaled_config, make_scheme("native"))
+        with pytest.raises(ValueError, match="backend"):
+            SimulationEngine(system, tiny_pr_trace, backend="warp")
+
+    def test_simulate_passes_backend(self, tiny_pr_trace, scaled_config):
+        result = simulate(
+            tiny_pr_trace, make_scheme("native"), scaled_config,
+            backend="vector",
+        )
+        assert result.accesses == tiny_pr_trace.total_accesses

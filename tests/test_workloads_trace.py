@@ -9,6 +9,7 @@ from repro.workloads.trace import (
     MixtureComponent,
     StreamBuilder,
     WorkloadScale,
+    WorkloadTrace,
     partition_region,
     private_region,
     random_lines,
@@ -67,6 +68,148 @@ class TestAddressPools:
     def test_zipf_rejects_empty(self):
         with pytest.raises(ValueError):
             zipf_indices(np.random.default_rng(0), 0, 10)
+
+
+def _rank_frequencies(idx: np.ndarray, n: int) -> np.ndarray:
+    """Observed probability per zipf rank (undoing the spread permutation)."""
+    perm = np.random.default_rng(12345).permutation(n)
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[perm] = np.arange(n)
+    counts = np.bincount(inverse[idx], minlength=n)
+    return counts / len(idx)
+
+
+class TestZipfSkewRegression:
+    """The requested ``alpha`` must be honored, not silently replaced.
+
+    The old implementation sampled ``numpy.random.zipf`` — defined only
+    for ``alpha > 1`` — with ``max(alpha, 1.01)`` and clipped the unbounded
+    tail onto the last rank.  Any workload asking for the common
+    ``alpha < 1`` regime got a wildly different distribution (for
+    ``alpha`` near 1 most of the mass landed on the single *coldest*
+    rank) with no error and no warning.
+    """
+
+    N = 64
+    COUNT = 40_000
+
+    def _expected(self, alpha: float) -> np.ndarray:
+        weights = np.arange(1, self.N + 1, dtype=np.float64) ** -alpha
+        return weights / weights.sum()
+
+    @pytest.mark.parametrize("alpha", [0.6, 0.99, 1.3])
+    def test_alpha_honored(self, alpha):
+        rng = np.random.default_rng(3)
+        freq = _rank_frequencies(
+            zipf_indices(rng, self.N, self.COUNT, alpha=alpha), self.N
+        )
+        expect = self._expected(alpha)
+        # Hot and cold ends both match the bounded-zipf pmf to well
+        # within sampling noise (the old clamp-to-1.01 bug was off by
+        # integer factors at alpha=0.6).
+        assert freq[0] == pytest.approx(expect[0], rel=0.15)
+        assert freq[: self.N // 4].sum() == pytest.approx(
+            expect[: self.N // 4].sum(), rel=0.1
+        )
+
+    def test_no_tail_mass_clipped_onto_last_rank(self):
+        rng = np.random.default_rng(3)
+        freq = _rank_frequencies(
+            zipf_indices(rng, self.N, self.COUNT, alpha=0.99), self.N
+        )
+        # Under the old clipping, the last rank absorbed the entire
+        # unbounded tail and dwarfed rank 0; bounded sampling keeps it
+        # the coldest rank.
+        assert freq[-1] < freq[0]
+        assert freq[-1] == pytest.approx(
+            self._expected(0.99)[-1], rel=0.5, abs=2 / self.COUNT
+        )
+
+    def test_rejects_nonpositive_alpha(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="alpha"):
+            zipf_indices(rng, 10, 5, alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            zipf_indices(rng, 10, 5, alpha=-1.0)
+
+
+class TestTraceValidate:
+    CXL = 1 * units.MB
+    TOTAL = 3 * units.MB  # two hosts -> one 1 MB local window each
+
+    def _trace(self, streams) -> WorkloadTrace:
+        return WorkloadTrace(
+            name="t", num_hosts=len(streams), streams=streams,
+            footprint_bytes=self.TOTAL,
+        )
+
+    def test_accepts_shared_and_own_window(self):
+        streams = [
+            [(1, 0, 0, 0), (1, self.CXL + 64, 0, 0)],
+            [(1, 64, 1, 0), (1, self.CXL + 1 * units.MB + 64, 0, 0)],
+        ]
+        self._trace(streams).validate(self.CXL, self.TOTAL)
+
+    def test_rejects_address_outside_map(self):
+        streams = [[(1, 0, 0, 0)], [(1, self.TOTAL + 64, 0, 0)]]
+        with pytest.raises(ValueError, match="outside the physical map"):
+            self._trace(streams).validate(self.CXL, self.TOTAL)
+
+    def test_rejects_negative_address(self):
+        streams = [[(1, -64, 0, 0)], [(1, 0, 0, 0)]]
+        with pytest.raises(ValueError, match="outside the physical map"):
+            self._trace(streams).validate(self.CXL, self.TOTAL)
+
+    def test_rejects_foreign_local_window(self):
+        # Host 0 touching host 1's private window used to pass silently
+        # (and simulate as if it were host-0-private data).
+        streams = [
+            [(1, self.CXL + 1 * units.MB + 64, 0, 0)],
+            [(1, 0, 0, 0)],
+        ]
+        with pytest.raises(
+            ValueError, match="another host's local window"
+        ):
+            self._trace(streams).validate(self.CXL, self.TOTAL)
+
+    def test_rejects_bad_capacity_split(self):
+        trace = self._trace([[(1, 0, 0, 0)], [(1, 0, 0, 0)]])
+        with pytest.raises(ValueError, match="divide"):
+            trace.validate(self.CXL, self.TOTAL + 1)
+        with pytest.raises(ValueError, match="capacity"):
+            trace.validate(self.TOTAL + 1, self.TOTAL)
+
+    def test_validates_deep_into_stream(self):
+        # The old check sampled only each stream's first 64 records.
+        good = [(1, 0, 0, 0)] * 100
+        streams = [good + [(1, self.TOTAL + 64, 0, 0)], list(good)]
+        with pytest.raises(ValueError, match="record 100"):
+            self._trace(streams).validate(self.CXL, self.TOTAL)
+
+
+class TestBakedStream:
+    def _trace(self) -> WorkloadTrace:
+        streams = [[(2, 128, 1, 0), (5, 4096, 0, 1), (1, 64, 0, 3)]]
+        return WorkloadTrace(
+            name="t", num_hosts=1, streams=streams, footprint_bytes=8192,
+        )
+
+    def test_arrays_match_records(self):
+        baked = self._trace().baked_arrays(0, ns_per_instr=0.5)
+        assert len(baked) == 3
+        assert baked.compute_ns.tolist() == [1.0, 2.5, 0.5]
+        assert baked.addr.tolist() == [128, 4096, 64]
+        assert baked.is_write.tolist() == [True, False, False]
+        assert baked.core.tolist() == [0, 1, 3]
+        assert baked.line.tolist() == [2, 64, 1]
+        assert baked.page.tolist() == [0, 1, 0]
+
+    def test_records_round_trip(self):
+        trace = self._trace()
+        baked = trace.baked_arrays(0, ns_per_instr=0.5)
+        records = baked.records()
+        assert records == trace.baked_stream(0, ns_per_instr=0.5)
+        assert all(isinstance(w, bool) for _, _, w, _ in records)
 
 
 class TestStreamBuilder:
