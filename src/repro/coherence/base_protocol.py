@@ -115,6 +115,7 @@ class BaseCxlDsmModel:
         if state.dir_state == _M:
             # Fetch from the owner (workflow steps 3-6 of Fig. 2): the owner
             # downgrades to S and the dirty data is written back.
+            # simcheck: handles device(M, rd_req) host(M, fwd_fetch)
             owner = state.dir_owner
             owner_version = caches[owner][1]
             caches[owner] = (_S, owner_version)
@@ -122,6 +123,7 @@ class BaseCxlDsmModel:
             data_version = owner_version
             sharers = {owner, host}
         else:
+            # simcheck: handles device(I, rd_req) device(S, rd_req)
             data_version = mem_version
             sharers.add(host)
         caches[host] = (_S, data_version)
@@ -135,6 +137,11 @@ class BaseCxlDsmModel:
         return new_state, {"read_version": data_version, "latest": latest}
 
     def _store(self, state: LineState, host: int) -> Tuple[LineState, Dict]:
+        # A store folds the whole RFO exchange into one atomic step: the
+        # writer acquires M and every other valid copy (and the S/M
+        # directory side) observes its invalidation here.
+        # simcheck: handles device(I, rfo_req) device(S, rfo_req)
+        # simcheck: handles device(M, rfo_req) host(S, inv) host(M, fwd_inv)
         latest = self.latest_version(state)
         new_version = latest + 1
         caches = []
@@ -162,10 +169,12 @@ class BaseCxlDsmModel:
         mem_version = state.mem_version
         sharers = set(state.dir_sharers)
         if cache_state == _M:
+            # simcheck: handles device(M, wb)
             mem_version = version  # dirty writeback
             dir_state, dir_owner = _I, -1
             sharers = set()
         else:
+            # simcheck: handles device(S, sharer_drop)
             sharers.discard(host)
             if sharers:
                 dir_state, dir_owner = _S, -1

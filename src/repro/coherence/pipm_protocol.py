@@ -158,6 +158,7 @@ class PipmModel:
         mem_version = state.mem_version
         sharers = set(state.dir_sharers)
         if state.dir_state == _M:
+            # simcheck: handles device(M, rd_req) host(M, fwd_fetch)
             owner = state.dir_owner
             owner_version = caches[owner][1]
             caches[owner] = (_S, owner_version)
@@ -165,6 +166,7 @@ class PipmModel:
             data_version = owner_version
             sharers = {owner, host}
         else:
+            # simcheck: handles device(I, rd_req) device(S, rd_req)
             data_version = mem_version
             sharers.add(host)
         caches[host] = (_S, data_version)
@@ -180,6 +182,11 @@ class PipmModel:
     def _store_fill(
         self, state: PipmLineState, host: int, latest: int
     ) -> Tuple[PipmLineState, Dict]:
+        # The atomic store transaction folds the whole RFO flow: the
+        # device grants from any home directory state and every other
+        # valid copy is invalidated (sharers via INV, an owner via FWD).
+        # simcheck: handles device(I, rfo_req) device(S, rfo_req)
+        # simcheck: handles device(M, rfo_req) host(S, inv) host(M, fwd_inv)
         new_version = latest + 1
         caches = tuple(
             (_M, new_version) if idx == host else (_I, 0)
@@ -196,6 +203,13 @@ class PipmModel:
     def _inter_host_migrate_back(
         self, state: PipmLineState, host: int, is_write: bool, latest: int
     ) -> Tuple[PipmLineState, Dict]:
+        # Fig. 9 cases 2/5/6, folded into the requester's access: the
+        # device forwards to the remap host (whose copy is ME when
+        # cached, I' when only in local memory) and the line migrates
+        # back over the I_MIG directory entry.
+        # simcheck: handles device(I_MIG, rd_req) device(I_MIG, rfo_req)
+        # simcheck: handles host(ME, fwd_fetch) host(ME, fwd_inv)
+        # simcheck: handles host(I, fwd_fetch) host(I, fwd_inv)
         owner = self.remap_host
         owner_state, owner_version = state.caches[owner]
         caches = list(state.caches)
@@ -271,6 +285,7 @@ class PipmModel:
                 )
                 return new_state, {"migrated": True}
             # Standard dirty writeback to CXL memory.
+            # simcheck: handles device(M, wb)
             new_state = state._replace(
                 caches=tuple(caches),
                 dir_state=_I,
@@ -281,6 +296,7 @@ class PipmModel:
             return new_state, {}
 
         # S eviction.
+        # simcheck: handles device(S, sharer_drop)
         sharers = set(state.dir_sharers)
         sharers.discard(host)
         new_state = state._replace(

@@ -198,7 +198,7 @@ def _make_flat_path(system, host_id, stall_by_service):
     holds the earliest heap turn.
     """
     if system._faults_on:
-        return None
+        return None  # simcheck: bails[faults-active]
     is_pipm = system._is_pipm
     is_page_map = system._is_page_map
     all_local = system.all_local
@@ -355,13 +355,14 @@ def _make_flat_path(system, host_id, stall_by_service):
         nonlocal t_h, t_m, t_e, c_h, c_m, c_e, d_l, d_h, d_ce
         nonlocal rt_n, wb_n, p_h, p_m, p_e, g_h, g_m, g_e
         # ============ phase 1: classify (pure reads only) ============
+        # simcheck: phase[classify]
         page = line >> _LINE_TO_PAGE
         shared = addr < cxl_end
         loc = None
         if shared and is_page_map:
             loc = page_map.get(page)
             if loc is not None and loc != host_id:
-                return None  # non-cacheable 4-hop inter-host path
+                return None  # simcheck: bails[inter-host-page] non-cacheable 4-hop
         llc_set = llc_sets[line & llc_mask]
         llc_entry = llc_set.get(line)
         pipm_entry = None
@@ -371,7 +372,7 @@ def _make_flat_path(system, host_id, stall_by_service):
         current = NO_HOST
         if llc_entry is not None:
             if is_write and not llc_entry.dirty and llc_entry.state == 0:
-                return None  # S -> M upgrade on an LLC hit
+                return None  # simcheck: bails[upgrade-llc-hit] S -> M on LLC hit
             flow = 0  # LLC hit
         elif not shared or all_local:
             flow = 1  # host-private (or all-local scheme): local DRAM
@@ -380,7 +381,7 @@ def _make_flat_path(system, host_id, stall_by_service):
             if gentry is not None:
                 current = gentry.current_host
             if current != NO_HOST and current != host_id:
-                return None  # inter-host access to a migrated page
+                return None  # simcheck: bails[pipm-inter-host] migrated elsewhere
             if (
                 current == NO_HOST
                 and gentry is not None
@@ -390,7 +391,7 @@ def _make_flat_path(system, host_id, stall_by_service):
             ):
                 nxt = gentry.counter + (1 if gentry.counter < gmax else 0)
                 if nxt >= threshold:
-                    return None  # vote crosses threshold: promotion
+                    return None  # simcheck: bails[pipm-promotion] vote threshold
             pipm_entry = local_entries.get(page)
             if pipm_entry is not None and (
                 pipm_entry.migrated_lines >> (line & _LINES_MASK) & 1
@@ -414,9 +415,10 @@ def _make_flat_path(system, host_id, stall_by_service):
                 and dentry.owner >= 0
                 and hosts[dentry.owner].holds_line(line)
             ):
-                return None  # 4-hop dirty-owner forward
+                return None  # simcheck: bails[dirty-owner-forward] 4-hop forward
 
         # ============ phase 2: execute (no bail past here) ============
+        # simcheck: phase[execute]
         # TLB translate (access() charges it before the L1 probe).
         tlb_set = tlb_sets[page & tlb_mask]
         tlb_entry = tlb_set.get(page)
@@ -1088,7 +1090,7 @@ class SimulationEngine:
                     ):
                         # Write hit on a Shared copy: the S -> M upgrade
                         # invalidates other hosts — coherence-visible.
-                        break
+                        break  # simcheck: bails[upgrade-l1-hit]
                     entry.dirty = True
                 # Commit the hit: exactly lookup()'s move-to-end + counter,
                 # plus the TLB translate the slow path would have charged

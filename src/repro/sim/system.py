@@ -128,7 +128,9 @@ class MultiHostSystem:
             self.injector = FaultInjector(plan)
             for h, link in enumerate(self.links):
                 link.attach_faults(self.injector.link(h))
-            self._faults_on = self.injector.can_disrupt_transfers
+            self._faults_on = (  # simcheck: escalates[faults-active]
+                self.injector.can_disrupt_transfers
+            )
             self.watchdog = InvariantWatchdog(
                 self,
                 mode=config.faults.watchdog_mode,
@@ -282,6 +284,7 @@ class MultiHostSystem:
                 if shared and not entry.dirty and entry.state == 0:
                     # Write hit on a Shared copy: S -> M upgrade must
                     # invalidate the other hosts' copies first.
+                    # simcheck: escalates[upgrade-l1-hit]
                     lat += self._upgrade(host_id, line, now)
                     entry.state = 1
                     llc_copy = host.llc.peek(line)
@@ -297,6 +300,7 @@ class MultiHostSystem:
         if shared and self._is_page_map:
             loc = self.page_map.get(page)
             if loc is not None and loc != host_id:
+                # simcheck: escalates[inter-host-page]
                 return self._inter_host_nc(host_id, loc, page, addr,
                                            is_write, now, lat)
         else:
@@ -307,6 +311,7 @@ class MultiHostSystem:
         if llc_entry is not None:
             if is_write and not llc_entry.dirty and llc_entry.state == 0:
                 # Upgrade an S copy: other sharers must be invalidated.
+                # simcheck: escalates[upgrade-llc-hit]
                 lat += self._upgrade(host_id, line, now)
                 llc_entry.state = 1
             if is_write:
@@ -383,7 +388,7 @@ class MultiHostSystem:
             and entry.owner >= 0
             and self.hosts[entry.owner].holds_line(line)
         ):
-            owner = entry.owner
+            owner = entry.owner  # simcheck: escalates[dirty-owner-forward]
             # Forward to the owner; dirty data returns via the CXL node.
             lat += (
                 self.links[owner].round_trip(now, CONTROL_BYTES,
@@ -571,6 +576,7 @@ class MultiHostSystem:
             current = engine.global_table.current_host(page)
 
         if current != NO_HOST and current != host_id:
+            # simcheck: escalates[pipm-inter-host]
             # Under fault injection the migrate-back/revocation sequence is
             # transactional: snapshot first, roll back on a failed transfer
             # and degrade to a direct device access.
@@ -632,6 +638,7 @@ class MultiHostSystem:
                 # migrations while this host's link runs degraded.
                 self.injector.counters.degraded_skips += 1
             else:
+                # simcheck: escalates[pipm-promotion]
                 dest = engine.record_cxl_access(page, host_id)
                 if dest is not None:
                     self.migrations += 1

@@ -19,6 +19,21 @@ from .findings import Finding
 BASELINE_VERSION = 1
 DEFAULT_BASELINE = "simcheck-baseline.json"
 
+#: Conformance and drift rules assert that the fast path / transition
+#: tables agree with the code *right now* — grandfathering one would
+#: defeat the whole point, so they can never enter the baseline.
+UNBASELINEABLE_PREFIXES = ("VEC",)
+UNBASELINEABLE_RULES = frozenset({"PROTO007"})
+
+
+def baseline_eligible(finding: Finding) -> bool:
+    """Whether a finding may be grandfathered (or written) at all."""
+    if finding.severity != "error":
+        return False
+    if finding.rule in UNBASELINEABLE_RULES:
+        return False
+    return not finding.rule.startswith(UNBASELINEABLE_PREFIXES)
+
 
 def load_baseline(path: str) -> Dict[str, int]:
     """Fingerprint -> allowed-count map from a baseline file."""
@@ -38,7 +53,7 @@ def write_baseline(path: str, findings: List[Finding]) -> int:
     """Snapshot ``findings`` (errors only) as the new baseline."""
     counts: Dict[str, int] = {}
     for finding in findings:
-        if finding.severity != "error":
+        if not baseline_eligible(finding):
             continue
         key = finding.fingerprint()
         counts[key] = counts.get(key, 0) + 1
@@ -59,19 +74,67 @@ def write_baseline(path: str, findings: List[Finding]) -> int:
     return len(counts)
 
 
+def prune_baseline(path: str, root: str) -> Tuple[int, int]:
+    """Drop fingerprints whose file no longer exists; rewrite in place.
+
+    Returns ``(kept, dropped)`` entry counts.  Also sheds malformed
+    fingerprints and entries for unbaselineable rules (hand-edits or
+    leftovers from older tool versions) — none of those can ever be
+    consumed by :func:`apply_baseline` again, so they are pure noise.
+    """
+    counts = load_baseline(path)
+    kept: Dict[str, int] = {}
+    dropped = 0
+    for key, count in counts.items():
+        parts = key.split("::")
+        if len(parts) < 3:
+            dropped += 1
+            continue
+        rule = parts[0]
+        relpath = "::".join(parts[1:-1])
+        if rule in UNBASELINEABLE_RULES or rule.startswith(
+            UNBASELINEABLE_PREFIXES
+        ):
+            dropped += 1
+            continue
+        if not os.path.isfile(os.path.join(root, relpath)):
+            dropped += 1
+            continue
+        kept[key] = count
+    if dropped:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered simcheck findings. Regenerate with "
+                "`python -m repro lint --write-baseline`; shrink it by "
+                "fixing findings, never grow it by hand."
+            ),
+            "findings": dict(sorted(kept.items())),
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(tmp, path)
+    return len(kept), dropped
+
+
 def apply_baseline(
     findings: List[Finding], baseline: Dict[str, int]
 ) -> Tuple[List[Finding], int]:
     """Split findings into (new, grandfathered-count).
 
     Only ``error`` findings are baseline-eligible; notes always pass
-    through (they never fail the run anyway).
+    through (they never fail the run anyway).  Conformance/drift rules
+    (:data:`UNBASELINEABLE_PREFIXES`, :data:`UNBASELINEABLE_RULES`) are
+    never matched against the baseline even if someone hand-edited an
+    entry in.
     """
     budget = dict(baseline)
     fresh: List[Finding] = []
     grandfathered = 0
     for finding in findings:
-        if finding.severity == "error":
+        if baseline_eligible(finding):
             key = finding.fingerprint()
             if budget.get(key, 0) > 0:
                 budget[key] -= 1

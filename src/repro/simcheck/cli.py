@@ -2,13 +2,33 @@
 
 Exit codes: ``0`` clean (info notes allowed), ``1`` at least one error
 finding survived suppressions and the baseline, ``2`` usage or
-environment problems (unknown scope, unreadable baseline, bad path).
+environment problems (unknown scope, unreadable baseline, bad path,
+conflicting flags).
+
+Pass layout
+-----------
+One invocation runs up to three analysis families, each gated by what
+the requested paths actually cover:
+
+* the AST rule engine (DET/ORD/UNIT/FLOW/... rules) over every in-scope
+  ``.py`` file, plus the backend-conformance pass (``VEC001-004``) when
+  the linted set includes ``sim/engine.py``;
+* the protocol-table analyzer (``PROTO001-006``) and the table<->code
+  drift pass (``PROTO007``) when it includes the coherence modules.
+
+``--no-protocol`` drops the second family; ``--protocol-only`` drops
+the first.  CI runs the two halves as separate matrix jobs so a
+protocol regression and an engine regression fail independently.
+Conformance/drift findings are never baselined — they assert the tree
+is self-consistent *now*.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -17,8 +37,11 @@ from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
+from .conformance import CONFORMANCE_MODULES, analyze_repo_conformance
+from .drift import analyze_repo_drift
 from .engine import (
     LintEngine,
     SCOPES,
@@ -59,8 +82,23 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="snapshot current error findings as the new baseline and exit",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline fingerprints whose file no longer exists, "
+             "rewrite the baseline, and exit",
+    )
+    parser.add_argument(
         "--no-protocol", action="store_true",
-        help="skip the protocol-table analyzer",
+        help="skip the protocol-table analyzer and the PROTO007 drift pass",
+    )
+    parser.add_argument(
+        "--protocol-only", action="store_true",
+        help="run only the protocol-table analyzer and drift pass "
+             "(skip AST rules and backend conformance)",
+    )
+    parser.add_argument(
+        "--strict-ignores", action="store_true",
+        help="escalate unused '# simcheck: ignore' pragmas (SUPP001) "
+             "from notes to errors",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -72,12 +110,22 @@ def _list_rules() -> int:
     for rule in all_rules():
         scopes = ",".join(rule.scopes)
         print(f"{rule.id:<9} [{scopes}] {rule.title}")
+    print(f"{'SUPP001':<9} [engine] note: unused/unknown suppression pragma")
+    print(f"{'VEC001':<9} [backend] fast-path stat cell incremented but "
+          f"never flushed")
+    print(f"{'VEC002':<9} [backend] escalation branch without a matching "
+          f"fast-path bail (or vice versa)")
+    print(f"{'VEC003':<9} [backend] classify-phase closure mutates shared "
+          f"state")
+    print(f"{'VEC004':<9} [backend] flush reads a cell it never resets")
     print(f"{'PROTO001':<9} [tables] unhandled (state, event) pair")
     print(f"{'PROTO002':<9} [tables] ambiguous transitions for one stimulus")
     print(f"{'PROTO003':<9} [tables] emitted/awaited message without peer")
     print(f"{'PROTO004':<9} [tables] static wait-for cycle (deadlock)")
     print(f"{'PROTO005':<9} [tables] unknown state/event/role in a row")
     print(f"{'PROTO006':<9} [tables] note: message types never referenced")
+    print(f"{'PROTO007':<9} [tables] transition table drifted from handler "
+          f"code")
     return 0
 
 
@@ -85,34 +133,73 @@ def run_lint(args) -> int:
     if args.list_rules:
         return _list_rules()
 
+    if args.no_protocol and args.protocol_only:
+        print(
+            "error: --no-protocol and --protocol-only are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
+
     root = os.getcwd()
+
+    if args.prune_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE
+        try:
+            kept, dropped = prune_baseline(baseline_path, root)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot prune baseline: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"pruned {baseline_path}: dropped {dropped} stale "
+            f"fingerprint(s), kept {kept}"
+        )
+        return 0
+
     scopes = tuple(args.scopes) if args.scopes else ("src",)
     for path in args.paths:
         if not os.path.exists(path):
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
 
-    engine = LintEngine(scopes=scopes, root=root)
-    result = engine.run(args.paths)
+    linted = {
+        relativize(path, root) for path in iter_python_files(args.paths)
+    }
 
-    report = LintReport(
-        findings=list(result.findings),
-        suppressed=result.suppressed,
-        files_checked=result.files_checked,
-    )
+    report = LintReport()
+    if args.protocol_only:
+        report.files_checked = 0
+    else:
+        engine = LintEngine(scopes=scopes, root=root)
+        result = engine.run(args.paths)
+        report.findings = list(result.findings)
+        report.suppressed = result.suppressed
+        report.files_checked = result.files_checked
+
+        # Backend conformance fires only when the run covers the vector
+        # engine module (so `lint benchmarks/` stays fast).
+        conf_findings, _ = analyze_repo_conformance(
+            pathlib.Path(root), linted & set(CONFORMANCE_MODULES)
+        )
+        report.findings.extend(conf_findings)
 
     # The protocol pass fires only when the run actually covers the
-    # modules that define the tables (so `lint benchmarks/` stays fast).
+    # modules that define the tables.
     if not args.no_protocol:
-        linted = {
-            relativize(path, root)
-            for path in iter_python_files(args.paths)
-        }
         wanted = [rel for rel in PROTOCOL_MODULES if rel in linted]
         if wanted:
             table_findings, checked = analyze_repo_tables(root, wanted)
             report.findings.extend(table_findings)
             report.tables_checked = len(checked)
+            drift_findings, _ = analyze_repo_drift(root, wanted)
+            report.findings.extend(drift_findings)
+
+    if args.strict_ignores:
+        report.findings = [
+            dataclasses.replace(f, severity="error")
+            if f.rule == "SUPP001" else f
+            for f in report.findings
+        ]
 
     report.sort()
 

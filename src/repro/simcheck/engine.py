@@ -20,8 +20,10 @@ it.  ``src`` is the only scope linted by default — ``benchmarks`` and
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -163,6 +165,152 @@ def is_suppressed(
     )
 
 
+@dataclass
+class Pragma:
+    """One suppression the source claims to need."""
+
+    line: int  # line the pragma sits on (file-level pragmas included)
+    rule: str  # rule ID or ALL_RULES
+    file_level: bool
+    used: int = 0
+
+
+def _pragma_comments(lines: List[str]) -> Dict[int, str]:
+    """Line -> real COMMENT token text, for lines mentioning simcheck.
+
+    Tokenizing (rather than grepping lines) keeps pragma syntax *quoted*
+    in docstrings and string literals — as this module's own docs do —
+    from being reported as stale suppressions.  Falls back to raw lines
+    if the source does not tokenize.
+    """
+    source = "\n".join(lines)
+    out: Dict[int, str] = {}
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {
+            lineno: text
+            for lineno, text in enumerate(lines, start=1)
+            if "simcheck" in text
+        }
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT and "simcheck" in tok.string:
+            out[tok.start[0]] = tok.string
+    return out
+
+
+def _quoted(text: str, idx: int) -> bool:
+    """Whether the ``#`` at ``idx`` sits inside quoted example text."""
+    return idx > 0 and text[idx - 1] in "`'\""
+
+
+class SuppressionTracker:
+    """Suppression filtering that remembers which pragmas fired.
+
+    Wraps :func:`parse_suppressions` / :func:`is_suppressed` and counts,
+    per pragma, how many findings it hid — so the engine can report the
+    stale ones (``SUPP001``): a suppression whose rule no longer fires
+    is a claim about the code that stopped being true.
+    """
+
+    def __init__(self, lines: List[str]) -> None:
+        self.by_line, self.file_level = parse_suppressions(lines)
+        self.pragmas: List[Pragma] = []
+        for lineno, text in sorted(_pragma_comments(lines).items()):
+            file_match = _SUPPRESS_FILE_RE.search(text)
+            if (
+                file_match
+                and lineno <= 5
+                and not _quoted(text, file_match.start())
+            ):
+                rules = file_match.group(1)
+                names = (
+                    [r.strip() for r in rules.split(",") if r.strip()]
+                    if rules
+                    else [ALL_RULES]
+                )
+                for name in names:
+                    self.pragmas.append(Pragma(lineno, name, True))
+                continue
+            match = _SUPPRESS_RE.search(text)
+            if not match or _quoted(text, match.start()):
+                continue
+            rules = match.group(1)
+            names = (
+                [r.strip() for r in rules.split(",") if r.strip()]
+                if rules
+                else [ALL_RULES]
+            )
+            for name in names:
+                self.pragmas.append(Pragma(lineno, name, False))
+
+    def suppresses(self, finding: Finding) -> bool:
+        """:func:`is_suppressed`, but records which pragma absorbed it."""
+        if not is_suppressed(finding, self.by_line, self.file_level):
+            return False
+        for pragma in self.pragmas:
+            if pragma.rule not in (finding.rule, ALL_RULES):
+                continue
+            if pragma.file_level or pragma.line == finding.line:
+                pragma.used += 1
+                break
+        return True
+
+    def unused(self, rules_run: Set[str]) -> Iterator[Pragma]:
+        """Pragmas that hid nothing.
+
+        A pragma naming a real rule is only reported when that rule ran
+        (a golden test linting with a rule subset shouldn't flag the
+        others' pragmas as stale); unknown rule IDs are always reported
+        — they can never fire.
+        """
+        for pragma in self.pragmas:
+            if pragma.used:
+                continue
+            known = pragma.rule in REGISTRY
+            if pragma.rule == ALL_RULES or not known or pragma.rule in rules_run:
+                yield pragma
+
+
+def unused_pragma_findings(
+    tracker: SuppressionTracker,
+    relpath: str,
+    lines: List[str],
+    rules_run: Set[str],
+) -> List[Finding]:
+    """Info-severity SUPP001 notes for stale/unknown suppressions."""
+    findings: List[Finding] = []
+    for pragma in tracker.unused(rules_run):
+        if pragma.rule != ALL_RULES and pragma.rule not in REGISTRY:
+            message = (
+                f"suppression names unknown rule {pragma.rule!r}; it can "
+                f"never fire — fix the ID or delete the pragma"
+            )
+        else:
+            what = (
+                "every rule" if pragma.rule == ALL_RULES else pragma.rule
+            )
+            where = "file-level " if pragma.file_level else ""
+            message = (
+                f"unused {where}suppression of {what}: nothing fires "
+                f"here anymore — delete the pragma so real findings "
+                f"can't hide behind it"
+            )
+        findings.append(
+            Finding(
+                rule="SUPP001",
+                path=relpath,
+                line=pragma.line,
+                message=message,
+                severity="info",
+                line_text=source_line(lines, pragma.line),
+            )
+        )
+    return findings
+
+
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
     """Every ``.py`` file under ``paths`` (files accepted verbatim)."""
     seen: Set[str] = set()
@@ -256,17 +404,22 @@ class LintEngine:
             tree=tree,
             lines=lines,
         )
-        by_line, file_level = parse_suppressions(lines)
+        tracker = SuppressionTracker(lines)
         findings: List[Finding] = []
         suppressed = 0
+        rules_run: Set[str] = set()
         for rule in self.rules:
             if scope not in rule.scopes or not rule.applies_to(ctx):
                 continue
+            rules_run.add(rule.id)
             for finding in rule.check(ctx):
-                if is_suppressed(finding, by_line, file_level):
+                if tracker.suppresses(finding):
                     suppressed += 1
                 else:
                     findings.append(finding)
+        findings.extend(
+            unused_pragma_findings(tracker, relpath, lines, rules_run)
+        )
         return findings, suppressed, True
 
     def run(self, paths: Iterable[str]) -> EngineResult:
@@ -296,13 +449,18 @@ def lint_source(
         tree=ast.parse(source),
         lines=lines,
     )
-    by_line, file_level = parse_suppressions(lines)
+    tracker = SuppressionTracker(lines)
     findings: List[Finding] = []
+    rules_run: Set[str] = set()
     for rule in (list(rules) if rules is not None else all_rules()):
         if ctx.scope not in rule.scopes or not rule.applies_to(ctx):
             continue
+        rules_run.add(rule.id)
         for finding in rule.check(ctx):
-            if not is_suppressed(finding, by_line, file_level):
+            if not tracker.suppresses(finding):
                 findings.append(finding)
+    findings.extend(
+        unused_pragma_findings(tracker, relpath, lines, rules_run)
+    )
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings

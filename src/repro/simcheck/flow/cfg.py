@@ -1,0 +1,226 @@
+"""Per-function control-flow graphs over the stdlib AST.
+
+One :class:`CFG` covers one *unit*: a module body, a function, or a
+lambda-free method.  Nested ``def``/``class`` statements are treated as
+plain name bindings — each nested function gets its own CFG via
+:func:`iter_function_units`.
+
+Blocks hold the statements that execute straight-line; compound
+statements (``if``/``while``/``for``/``try``/``with``/``match``) place
+their *header* node in the block where the test/iterable evaluates and
+hang their bodies off successor blocks.  ``break``/``continue``/
+``return``/``raise`` terminate a block with the appropriate edge.  The
+graph over-approximates feasibility (both branches of every test are
+assumed reachable; every statement of a ``try`` body may jump to every
+handler), which is the right direction for a linter: a fact is reported
+only when it holds on *some* path, never asserted to hold on all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+FunctionUnit = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class Block:
+    """A straight-line run of statements."""
+
+    bid: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: Set[int] = field(default_factory=set)
+    preds: Set[int] = field(default_factory=set)
+
+
+class CFG:
+    """Control-flow graph of one function/module body."""
+
+    def __init__(self, unit: FunctionUnit, name: str) -> None:
+        self.unit = unit
+        self.name = name
+        self.blocks: List[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+
+    def _new_block(self) -> int:
+        block = Block(bid=len(self.blocks))
+        self.blocks.append(block)
+        return block.bid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.add(dst)
+        self.blocks[dst].preds.add(src)
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class _Builder:
+    """Recursive-descent CFG construction."""
+
+    def __init__(self, unit: FunctionUnit, name: str) -> None:
+        self.cfg = CFG(unit, name)
+        #: (loop_header, loop_exit) targets for continue/break.
+        self.loops: List[Tuple[int, int]] = []
+
+    def build(self) -> CFG:
+        body = self.cfg.unit.body
+        start = self.cfg._new_block()
+        self.cfg.add_edge(self.cfg.entry, start)
+        end = self._stmts(body, start)
+        if end is not None:
+            self.cfg.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _stmts(self, body: List[ast.stmt], cur: Optional[int]) -> Optional[int]:
+        """Thread ``body`` through the graph starting at block ``cur``.
+
+        Returns the block open at the end, or ``None`` when every path
+        through ``body`` left via return/raise/break/continue.
+        """
+        for stmt in body:
+            if cur is None:
+                # Unreachable code after a terminator; give it its own
+                # island so defs/uses still resolve without crashing.
+                cur = self.cfg._new_block()
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.block(cur).stmts.append(stmt)
+            cfg.add_edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cfg.block(cur).stmts.append(stmt)
+            if self.loops:
+                cfg.add_edge(cur, self.loops[-1][1])
+            else:
+                cfg.add_edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            cfg.block(cur).stmts.append(stmt)
+            if self.loops:
+                cfg.add_edge(cur, self.loops[-1][0])
+            else:
+                cfg.add_edge(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.If):
+            cfg.block(cur).stmts.append(stmt)  # the test's use site
+            after = cfg._new_block()
+            then_entry = cfg._new_block()
+            cfg.add_edge(cur, then_entry)
+            then_end = self._stmts(stmt.body, then_entry)
+            if then_end is not None:
+                cfg.add_edge(then_end, after)
+            if stmt.orelse:
+                else_entry = cfg._new_block()
+                cfg.add_edge(cur, else_entry)
+                else_end = self._stmts(stmt.orelse, else_entry)
+                if else_end is not None:
+                    cfg.add_edge(else_end, after)
+            else:
+                cfg.add_edge(cur, after)
+            return after if cfg.block(after).preds else None
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg._new_block()
+            cfg.add_edge(cur, header)
+            cfg.block(header).stmts.append(stmt)  # test/iter + loop target
+            after = cfg._new_block()
+            cfg.add_edge(header, after)  # loop never entered / condition false
+            body_entry = cfg._new_block()
+            cfg.add_edge(header, body_entry)
+            self.loops.append((header, after))
+            body_end = self._stmts(stmt.body, body_entry)
+            self.loops.pop()
+            if body_end is not None:
+                cfg.add_edge(body_end, header)
+            if stmt.orelse:
+                else_end = self._stmts(stmt.orelse, after)
+                # orelse shares the after block (runs on normal exit).
+                return else_end
+            return after
+        if isinstance(stmt, ast.Try):
+            first = len(cfg.blocks)
+            body_entry = cfg._new_block()
+            cfg.add_edge(cur, body_entry)
+            body_end = self._stmts(stmt.body, body_entry)
+            body_last = len(cfg.blocks)
+            after = cfg._new_block()
+            # An exception may fire after any statement of the body:
+            # every body-region block gets an edge to every handler.
+            handler_entries = []
+            for handler in stmt.handlers:
+                h_entry = cfg._new_block()
+                handler_entries.append(h_entry)
+                cfg.block(h_entry).stmts.append(handler)  # name binding
+                h_end = self._stmts(handler.body, h_entry)
+                if h_end is not None:
+                    cfg.add_edge(h_end, after)
+            for bid in range(first, body_last):
+                for h_entry in handler_entries:
+                    cfg.add_edge(bid, h_entry)
+            if body_end is not None:
+                if stmt.orelse:
+                    else_end = self._stmts(stmt.orelse, body_end)
+                    if else_end is not None:
+                        cfg.add_edge(else_end, after)
+                else:
+                    cfg.add_edge(body_end, after)
+            if stmt.finalbody:
+                fin_entry = cfg._new_block()
+                cfg.add_edge(after, fin_entry)
+                fin_end = self._stmts(stmt.finalbody, fin_entry)
+                return fin_end
+            return after if cfg.block(after).preds else None
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.block(cur).stmts.append(stmt)  # context exprs + as-bindings
+            return self._stmts(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            cfg.block(cur).stmts.append(stmt)  # subject use
+            after = cfg._new_block()
+            for case in stmt.cases:
+                c_entry = cfg._new_block()
+                cfg.add_edge(cur, c_entry)
+                cfg.block(c_entry).stmts.append(case)  # pattern bindings
+                c_end = self._stmts(case.body, c_entry)
+                if c_end is not None:
+                    cfg.add_edge(c_end, after)
+            cfg.add_edge(cur, after)  # no case matched
+            return after
+        # Plain statement (incl. nested def/class, which merely bind names).
+        cfg.block(cur).stmts.append(stmt)
+        return cur
+
+
+def build_cfg(unit: FunctionUnit, name: str = "<unit>") -> CFG:
+    return _Builder(unit, name).build()
+
+
+def iter_function_units(
+    tree: ast.Module,
+) -> Iterator[Tuple[FunctionUnit, str]]:
+    """Yield ``(unit, qualified_name)`` for the module body and every
+    (possibly nested) function definition."""
+    yield tree, "<module>"
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[FunctionUnit, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield child, qual
+                yield from walk(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.")
+            else:
+                yield from walk(child, prefix)
+
+    yield from walk(tree, "")

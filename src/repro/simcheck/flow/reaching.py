@@ -1,0 +1,267 @@
+"""Reaching definitions over :mod:`repro.simcheck.flow.cfg` graphs.
+
+The analysis tracks plain-``Name`` bindings only: attribute and
+subscript stores mutate objects, not the local namespace, so they are
+neither gens nor kills here (the taint layer treats them as uses of the
+base name instead).  Compound-statement headers that live in a block
+(see ``cfg.py``) contribute only their header parts — an ``ast.If``
+stored in a block defines nothing and uses its test; an ``ast.For``
+defines its target and uses its iterable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from .cfg import CFG
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding of ``var`` produced by ``stmt``.
+
+    ``value`` is the expression assigned when one can be isolated (the
+    RHS of a simple assignment, the iterable of a ``for``); ``None`` for
+    opaque bindings such as ``except ... as e`` or function parameters.
+    """
+
+    var: str
+    stmt: ast.AST
+    block: int
+    index: int  # position of stmt within its block
+    value: ast.expr = None  # type: ignore[assignment]
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    """Names bound by an assignment target (tuples/lists/stars descend)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript targets bind no local name.
+
+
+def _pattern_names(pattern: ast.AST) -> Iterator[str]:
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name:
+            yield node.name
+        elif isinstance(node, ast.MatchStar) and node.name:
+            yield node.name
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            yield node.rest
+
+
+def stmt_defs(stmt: ast.AST) -> List[Tuple[str, ast.expr]]:
+    """``(name, value_expr_or_None)`` pairs bound by a block statement."""
+    out: List[Tuple[str, ast.expr]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            for name in _target_names(target):
+                # Tuple unpack: value is the whole RHS (imprecise but safe).
+                out.append((name, stmt.value))
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            out.append((stmt.target.id, stmt))  # type: ignore[arg-type]
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+            out.append((stmt.target.id, stmt.value))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        for name in _target_names(stmt.target):
+            out.append((name, stmt.iter))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                for name in _target_names(item.optional_vars):
+                    out.append((name, item.context_expr))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            out.append((stmt.name, None))  # type: ignore[arg-type]
+    elif isinstance(stmt, ast.Match):
+        pass  # bindings live in the match_case pseudo-statements
+    elif isinstance(stmt, ast.match_case):
+        for name in _pattern_names(stmt.pattern):
+            out.append((name, None))  # type: ignore[arg-type]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.append((stmt.name, None))  # type: ignore[arg-type]
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            out.append((bound, None))  # type: ignore[arg-type]
+    # Walrus operators anywhere inside the statement's header expressions.
+    for expr in _header_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+                out.append((node.target.id, node.value))
+    return out
+
+
+def _header_exprs(stmt: ast.AST) -> List[ast.expr]:
+    """Expressions evaluated *in the block holding this statement* —
+    i.e. excluding bodies of compound statements, which live in other
+    blocks, and excluding nested function bodies (separate units)."""
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.match_case):
+        return [stmt.guard] if stmt.guard else []
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return list(stmt.decorator_list) + [
+            d for d in stmt.args.defaults + stmt.args.kw_defaults if d
+        ]
+    if isinstance(stmt, ast.ClassDef):
+        return list(stmt.decorator_list) + list(stmt.bases) + [
+            kw.value for kw in stmt.keywords
+        ]
+    # Simple statement: every child expression evaluates here.
+    return [node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)]
+
+
+def stmt_use_nodes(stmt: ast.AST) -> List[ast.Name]:
+    """``ast.Name`` loads evaluated in the block holding ``stmt``."""
+    uses: List[ast.Name] = []
+    exprs = list(_header_exprs(stmt))
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        # Attribute/Subscript targets *read* their base expression.
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        exprs = ([stmt.value] if stmt.value is not None else [])
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                exprs.append(target)
+    elif isinstance(stmt, ast.AugAssign):
+        exprs = [stmt.value, stmt.target]  # x += y reads both
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Load, ast.Del)):
+                uses.append(node)
+            elif isinstance(node, ast.NamedExpr):
+                pass  # its target is a store; walk continues into value
+    return uses
+
+
+class ReachingDefinitions:
+    """Classic forward may-analysis; exposes def-use resolution."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._gen: List[Dict[str, Set[Definition]]] = []
+        self._kill: List[Set[str]] = []
+        self.block_in: List[Dict[str, FrozenSet[Definition]]] = []
+        self._params: List[Definition] = []
+        self._compute()
+
+    # -- setup ---------------------------------------------------------
+    def _seed_params(self) -> Dict[str, Set[Definition]]:
+        env: Dict[str, Set[Definition]] = {}
+        unit = self.cfg.unit
+        if isinstance(unit, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = unit.args
+            names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+            if args.vararg:
+                names.append(args.vararg.arg)
+            if args.kwarg:
+                names.append(args.kwarg.arg)
+            for name in names:
+                d = Definition(var=name, stmt=unit, block=self.cfg.entry, index=0)
+                self._params.append(d)
+                env[name] = {d}
+        return env
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        n = len(cfg.blocks)
+        self._gen = [dict() for _ in range(n)]
+        self._kill = [set() for _ in range(n)]
+        for block in cfg.blocks:
+            gen = self._gen[block.bid]
+            kill = self._kill[block.bid]
+            for idx, stmt in enumerate(block.stmts):
+                for name, value in stmt_defs(stmt):
+                    d = Definition(
+                        var=name, stmt=stmt, block=block.bid, index=idx, value=value
+                    )
+                    gen[name] = {d}  # later def in same block kills earlier
+                    kill.add(name)
+
+        entry_env = self._seed_params()
+        self._gen[cfg.entry] = {k: set(v) for k, v in entry_env.items()}
+        for name in entry_env:
+            self._kill[cfg.entry].add(name)
+
+        in_sets: List[Dict[str, Set[Definition]]] = [dict() for _ in range(n)]
+        out_sets: List[Dict[str, Set[Definition]]] = [dict() for _ in range(n)]
+        work = list(range(n))
+        while work:
+            bid = work.pop()
+            new_in: Dict[str, Set[Definition]] = {}
+            for pred in cfg.blocks[bid].preds:
+                for name, defs in out_sets[pred].items():
+                    new_in.setdefault(name, set()).update(defs)
+            in_sets[bid] = new_in
+            new_out: Dict[str, Set[Definition]] = {
+                name: set(defs)
+                for name, defs in new_in.items()
+                if name not in self._kill[bid]
+            }
+            for name, defs in self._gen[bid].items():
+                new_out[name] = set(defs)
+            if new_out != out_sets[bid]:
+                out_sets[bid] = new_out
+                work.extend(cfg.blocks[bid].succs)
+        self.block_in = [
+            {name: frozenset(defs) for name, defs in env.items()} for env in in_sets
+        ]
+
+    # -- queries -------------------------------------------------------
+    def defs_at(self, block: int, index: int, var: str) -> FrozenSet[Definition]:
+        """Definitions of ``var`` reaching statement ``index`` of ``block``."""
+        env = dict(self.block_in[block])
+        live: Set[Definition] = set(env.get(var, ()))
+        for idx, stmt in enumerate(self.cfg.blocks[block].stmts):
+            if idx >= index:
+                break
+            for name, value in stmt_defs(stmt):
+                if name == var:
+                    live = {
+                        Definition(
+                            var=name, stmt=stmt, block=block, index=idx, value=value
+                        )
+                    }
+        return frozenset(live)
+
+    def all_definitions(self) -> List[Definition]:
+        out: List[Definition] = list(self._params)
+        for block in self.cfg.blocks:
+            for idx, stmt in enumerate(block.stmts):
+                for name, value in stmt_defs(stmt):
+                    out.append(
+                        Definition(
+                            var=name, stmt=stmt, block=block.bid, index=idx, value=value
+                        )
+                    )
+        return out
+
+    def iter_uses(self) -> Iterator[Tuple[ast.Name, int, int, ast.AST]]:
+        """Yield ``(name_node, block, index, enclosing_stmt)`` for every
+        Name load in the unit."""
+        for block in self.cfg.blocks:
+            for idx, stmt in enumerate(block.stmts):
+                for node in stmt_use_nodes(stmt):
+                    yield node, block.bid, idx, stmt

@@ -1,0 +1,94 @@
+"""Provenance/taint propagation on top of reaching definitions.
+
+A client supplies a *transfer* function that maps a definition's RHS to
+a set of string tags, given an environment of the tags already known
+for every variable whose definitions reach that point.  Tags only grow,
+so iterating the transfer over all definitions until nothing changes is
+a fixed point (the tag domain is a finite powerset for any finite tag
+alphabet a client uses).
+
+Clients read results with :meth:`TaintAnalysis.tags_at`, which joins
+the tags of every definition reaching a use — i.e. a tag is reported
+when it holds on *some* path, matching the CFG's over-approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Set
+
+from .cfg import CFG
+from .reaching import Definition, ReachingDefinitions
+
+#: transfer(definition, env) -> tags; ``env`` maps var name -> joined tags
+#: of the definitions reaching the defining statement.
+Transfer = Callable[[Definition, Mapping[str, FrozenSet[str]]], FrozenSet[str]]
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+class TaintAnalysis:
+    """Fixed point of a client transfer function over all definitions."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        rd: ReachingDefinitions,
+        transfer: Transfer,
+        seed: Optional[Mapping[str, FrozenSet[str]]] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.rd = rd
+        self.transfer = transfer
+        #: tags per definition (identity-keyed: Definition is frozen/hashable)
+        self.def_tags: Dict[Definition, FrozenSet[str]] = {}
+        #: tags assumed for names with no visible definition (free vars,
+        #: globals, closure captures) — absent means untainted.
+        self.free_tags: Dict[str, FrozenSet[str]] = dict(seed or {})
+        self._solve()
+
+    def _env_for(self, d: Definition) -> Dict[str, FrozenSet[str]]:
+        """Tags of every variable at the point just before ``d`` executes."""
+        env: Dict[str, FrozenSet[str]] = {}
+        if d.value is None and not isinstance(d.stmt, ast.AST):
+            return env
+        names: Set[str] = set()
+        for node in ast.walk(d.value if d.value is not None else d.stmt):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+        for name in sorted(names):
+            env[name] = self.tags_before(d.block, d.index, name)
+        return env
+
+    def _solve(self) -> None:
+        defs = self.rd.all_definitions()
+        for d in defs:
+            self.def_tags[d] = EMPTY
+        changed = True
+        while changed:
+            changed = False
+            for d in defs:
+                env = self._env_for(d)
+                tags = self.transfer(d, env)
+                merged = self.def_tags[d] | tags
+                if merged != self.def_tags[d]:
+                    self.def_tags[d] = merged
+                    changed = True
+
+    # -- queries -------------------------------------------------------
+    def tags_before(self, block: int, index: int, var: str) -> FrozenSet[str]:
+        """Joined tags of all definitions of ``var`` reaching the point
+        just before statement ``index`` of ``block``."""
+        reaching = self.rd.defs_at(block, index, var)
+        if not reaching:
+            return self.free_tags.get(var, EMPTY)
+        out: Set[str] = set()
+        for d in reaching:
+            out |= self.def_tags.get(d, EMPTY)
+        return frozenset(out)
+
+    def tags_at(self, name_node: ast.Name, block: int, index: int) -> FrozenSet[str]:
+        return self.tags_before(block, index, name_node.id)
+
+    def definitions_with(self, tag: str) -> Set[Definition]:
+        return {d for d, tags in self.def_tags.items() if tag in tags}

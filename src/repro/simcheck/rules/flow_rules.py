@@ -1,0 +1,311 @@
+"""Dataflow rules: RNG provenance and latency-unit taint.
+
+These are the first clients of :mod:`repro.simcheck.flow`.  Unlike the
+DET/UNIT pattern rules they reason over def-use chains, so an unseeded
+RNG is flagged where it is *used* (after flowing through any number of
+aliases and branch joins), and a nanosecond-valued variable is flagged
+where it *mixes* with an event counter, not only at literal sites.
+
+FLOW001 — an RNG object whose provenance includes an unseeded
+    constructor (``random.Random()``, ``numpy.random.default_rng()``,
+    ``numpy.random.RandomState()``) reaches a draw or escapes into a
+    call.  A later ``obj.seed(...)`` call anywhere in the same function
+    sanitizes the variable (flow-insensitively — the goal is catching
+    RNGs that are *never* seeded, not seeding-order races).
+
+FLOW002 — a value tainted nanosecond (read from an ``*_ns`` name)
+    is added to / subtracted from a value tainted event-count
+    (grown by integer-literal ``+=`` increments).  Multiplication is
+    scaling and stays nanoseconds; only additive mixing is a bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Set, Tuple
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding
+from ..flow import CFG, ReachingDefinitions, TaintAnalysis, build_cfg, iter_function_units
+from ..flow.reaching import Definition, stmt_defs
+from .common import ImportMap, call_name
+from .determinism import SEEDABLE_FACTORIES
+
+EMPTY: FrozenSet[str] = frozenset()
+
+_UNSEEDED_PREFIX = "rng:unseeded@"
+_SEEDED = "rng:seeded"
+
+_NS = "unit:ns"
+_COUNT = "unit:count"
+
+
+def _unit_analyses(ctx: FileContext) -> List[Tuple[CFG, ReachingDefinitions]]:
+    """CFG + reaching-defs per function unit, cached on the parsed tree
+    so FLOW001 and FLOW002 share one construction pass."""
+    cached = getattr(ctx.tree, "_simcheck_flow_units", None)
+    if cached is not None:
+        return cached
+    units: List[Tuple[CFG, ReachingDefinitions]] = []
+    for unit, name in iter_function_units(ctx.tree):
+        cfg = build_cfg(unit, name)
+        units.append((cfg, ReachingDefinitions(cfg)))
+    ctx.tree._simcheck_flow_units = units  # type: ignore[attr-defined]
+    return units
+
+
+def _parents(stmt: ast.AST) -> Dict[ast.AST, ast.AST]:
+    out: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(stmt):
+        for child in ast.iter_child_nodes(parent):
+            out[child] = parent
+    return out
+
+
+def _is_seeded_call(call: ast.Call) -> bool:
+    # Same convention DET002 checks syntactically.
+    return bool(call.args) or any(
+        kw.arg in (None, "seed", "x") for kw in call.keywords
+    )
+
+
+@register
+class RngProvenanceRule(Rule):
+    id = "FLOW001"
+    title = "unseeded RNG provenance reaches a use"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+
+        def transfer(
+            d: Definition, env: Mapping[str, FrozenSet[str]]
+        ) -> FrozenSet[str]:
+            value = d.value
+            if isinstance(value, ast.Call):
+                name = call_name(imports, value)
+                if name in SEEDABLE_FACTORIES:
+                    if _is_seeded_call(value):
+                        return frozenset({_SEEDED})
+                    return frozenset({f"{_UNSEEDED_PREFIX}{value.lineno}"})
+                return EMPTY
+            if isinstance(value, ast.Name):
+                return env.get(value.id, EMPTY)
+            if isinstance(value, ast.IfExp):
+                tags: Set[str] = set()
+                for arm in (value.body, value.orelse):
+                    if isinstance(arm, ast.Name):
+                        tags |= env.get(arm.id, EMPTY)
+                return frozenset(tags)
+            return EMPTY
+
+        for cfg, rd in _unit_analyses(ctx):
+            ta = TaintAnalysis(cfg, rd, transfer)
+            if not any(
+                tags for tags in ta.def_tags.values()
+                if any(t.startswith(_UNSEEDED_PREFIX) for t in sorted(tags))
+            ):
+                continue
+
+            # Sanitizer: a var.seed(...) call anywhere in the unit means
+            # the RNG *is* seeded, just not at construction.
+            sanitized: Set[str] = set()
+            for node in ast.walk(cfg.unit):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "seed"
+                    and isinstance(node.func.value, ast.Name)
+                    and (node.args or node.keywords)
+                ):
+                    sanitized.add(node.func.value.id)
+
+            reported: Set[Tuple[int, str]] = set()
+            for name_node, blk, idx, stmt in rd.iter_uses():
+                if name_node.id in sanitized:
+                    continue
+                tags = ta.tags_at(name_node, blk, idx)
+                origins = sorted(
+                    int(t[len(_UNSEEDED_PREFIX):])
+                    for t in sorted(tags)
+                    if t.startswith(_UNSEEDED_PREFIX)
+                )
+                if not origins:
+                    continue
+                parents = _parents(stmt)
+                if not self._is_escaping_use(name_node, parents):
+                    continue
+                key = (name_node.lineno, name_node.id)
+                if key in reported:
+                    continue
+                reported.add(key)
+                where = ", ".join(f"line {ln}" for ln in origins)
+                yield ctx.finding(
+                    self.id,
+                    name_node,
+                    f"'{name_node.id}' may flow from an RNG constructed "
+                    f"without a seed ({where}); every draw reaching "
+                    f"simulation state must come from a seeded constructor",
+                )
+
+    @staticmethod
+    def _is_escaping_use(name_node: ast.Name, parents: Dict[ast.AST, ast.AST]) -> bool:
+        """True when the RNG is drawn from (``r.random()``) or handed to
+        another callable/container — i.e. entropy can escape.  Pure
+        aliasing assignments are the taint's job, not a report site."""
+        parent = parents.get(name_node)
+        if isinstance(parent, ast.Attribute):
+            grand = parents.get(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent:
+                return parent.attr != "seed"
+            return True  # attribute read of RNG state
+        if isinstance(parent, ast.Call):
+            return name_node in parent.args
+        if isinstance(parent, ast.keyword):
+            return True
+        if isinstance(parent, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(parent, ast.Return):
+            return True
+        return False
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class _UnitTags:
+    """Expression-level unit evaluation shared by the FLOW002 transfer
+    function and its use-site check."""
+
+    def __init__(self, lookup) -> None:
+        self.lookup = lookup  # name -> FrozenSet[str]
+
+    def of(self, node: ast.expr) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            tags = set(self.lookup(node.id))
+            if node.id.endswith("_ns"):
+                tags.add(_NS)
+            return frozenset(tags)
+        if isinstance(node, ast.Attribute):
+            return frozenset({_NS}) if node.attr.endswith("_ns") else EMPTY
+        if isinstance(node, ast.BinOp):
+            left, right = self.of(node.left), self.of(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                return left | right
+            if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+                # Scaling: ns * factor stays ns; ns / ns cancels but
+                # claiming EMPTY there would hide real mixes — keep ns.
+                if _NS in left or _NS in right:
+                    return frozenset({_NS})
+                return EMPTY
+            return EMPTY
+        if isinstance(node, ast.UnaryOp):
+            return self.of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.of(node.body) | self.of(node.orelse)
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            if name in ("max", "min") or name.endswith("_ns"):
+                tags: Set[str] = set()
+                for arg in node.args:
+                    tags |= self.of(arg)
+                return frozenset(tags)
+            return EMPTY
+        return EMPTY
+
+
+def _is_int_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp):
+        return _is_int_literal(node.operand)
+    return False
+
+
+@register
+class LatencyUnitTaintRule(Rule):
+    id = "FLOW002"
+    title = "nanosecond value mixed additively with event counter"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cfg, rd in _unit_analyses(ctx):
+            def transfer(
+                d: Definition, env: Mapping[str, FrozenSet[str]]
+            ) -> FrozenSet[str]:
+                evaluator = _UnitTags(lambda n: env.get(n, EMPTY))
+                if isinstance(d.stmt, ast.AugAssign) and d.value is d.stmt:
+                    aug = d.stmt
+                    tags = set(env.get(d.var, EMPTY))
+                    if isinstance(aug.op, ast.Add) and _is_int_literal(aug.value):
+                        if not d.var.endswith("_ns"):
+                            tags.add(_COUNT)
+                    else:
+                        tags |= evaluator.of(aug.value)
+                    return frozenset(tags)
+                if d.value is not None and isinstance(d.value, ast.expr):
+                    return evaluator.of(d.value)
+                return EMPTY
+
+            ta = TaintAnalysis(cfg, rd, transfer)
+            if not ta.definitions_with(_COUNT):
+                continue  # no counters in this unit — nothing can mix
+
+            reported: Set[int] = set()
+            for block in cfg.blocks:
+                for idx, stmt in enumerate(block.stmts):
+                    evaluator = _UnitTags(
+                        lambda n, b=block.bid, i=idx: ta.tags_before(b, i, n)
+                    )
+                    for finding in self._check_stmt(
+                        ctx, stmt, evaluator, reported
+                    ):
+                        yield finding
+
+    def _check_stmt(
+        self,
+        ctx: FileContext,
+        stmt: ast.AST,
+        evaluator: _UnitTags,
+        reported: Set[int],
+    ) -> Iterator[Finding]:
+        sites: List[Tuple[ast.AST, FrozenSet[str], FrozenSet[str]]] = []
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.op, (ast.Add, ast.Sub)
+        ):
+            if not _is_int_literal(stmt.value):
+                sites.append(
+                    (stmt, evaluator.of(stmt.target), evaluator.of(stmt.value))
+                )
+        from ..flow.reaching import _header_exprs
+
+        for expr in _header_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)
+                ):
+                    sites.append(
+                        (node, evaluator.of(node.left), evaluator.of(node.right))
+                    )
+        for node, left, right in sites:
+            ns_only_l = _NS in left and _COUNT not in left
+            ns_only_r = _NS in right and _COUNT not in right
+            cnt_only_l = _COUNT in left and _NS not in left
+            cnt_only_r = _COUNT in right and _NS not in right
+            if (ns_only_l and cnt_only_r) or (cnt_only_l and ns_only_r):
+                line = getattr(node, "lineno", 0)
+                if line in reported:
+                    continue
+                reported.add(line)
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "nanosecond-valued expression added to an event "
+                    "counter; latencies and counts live in different "
+                    "units — convert or rename before mixing",
+                )

@@ -1,0 +1,127 @@
+"""Table<->code drift pass (PROTO007) against the real protocol modules.
+
+The declarative ``TRANSITION_TABLE``s and the imperative model classes
+in ``base_protocol.py`` / ``pipm_protocol.py`` describe the same
+machine twice.  These tests assert the pass proves them equal on the
+current tree, then inject the canonical drift defects — a deleted
+table row, a lost handler annotation, a handler that starts raising —
+and assert PROTO007 reports each one.
+"""
+
+import dataclasses
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.coherence import base_protocol, pipm_protocol
+from repro.simcheck.drift import analyze_module_drift, analyze_repo_drift
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BASE_RELPATH = "src/repro/coherence/base_protocol.py"
+PIPM_RELPATH = "src/repro/coherence/pipm_protocol.py"
+
+
+@pytest.fixture(scope="module")
+def base_source():
+    return (REPO_ROOT / BASE_RELPATH).read_text()
+
+
+@pytest.fixture(scope="module")
+def pipm_source():
+    return (REPO_ROOT / PIPM_RELPATH).read_text()
+
+
+def _without_row(table, role, state, event):
+    kept = tuple(
+        row for row in table.transitions
+        if (row.role, row.state, row.event) != (role, state, event)
+    )
+    assert len(kept) < len(table.transitions), "row to delete not found"
+    return dataclasses.replace(table, transitions=kept)
+
+
+class TestCleanTree:
+    def test_base_table_matches_model(self, base_source):
+        findings = analyze_module_drift(
+            base_source, base_protocol.TRANSITION_TABLE, BASE_RELPATH
+        )
+        assert findings == []
+
+    def test_pipm_table_matches_model(self, pipm_source):
+        findings = analyze_module_drift(
+            pipm_source, pipm_protocol.TRANSITION_TABLE, PIPM_RELPATH
+        )
+        assert findings == []
+
+    def test_repo_entry_point_checks_both_tables(self):
+        findings, checked = analyze_repo_drift(str(REPO_ROOT))
+        assert findings == []
+        assert len(checked) == 2
+
+
+class TestSeededDefects:
+    def test_deleted_table_row_is_caught(self, base_source):
+        # Acceptance defect: drop the dirty-writeback row.  The model
+        # still handles device(M, wb), so the table has drifted.
+        table = _without_row(
+            base_protocol.TRANSITION_TABLE, "device", "M", "wb"
+        )
+        findings = analyze_module_drift(base_source, table, BASE_RELPATH)
+        assert [f.rule for f in findings] == ["PROTO007"]
+        assert "device(M, wb)" in findings[0].message
+        assert "no row" in findings[0].message
+
+    def test_lost_handler_annotation_is_caught(self, base_source):
+        source = base_source.replace(
+            "            # simcheck: handles device(M, wb)\n", ""
+        )
+        assert source != base_source
+        findings = analyze_module_drift(
+            source, base_protocol.TRANSITION_TABLE, BASE_RELPATH
+        )
+        assert [f.rule for f in findings] == ["PROTO007"]
+        assert "device(M, wb)" in findings[0].message
+
+    def test_handler_that_raises_on_legal_stimulus_is_caught(
+        self, base_source
+    ):
+        # Make _evict raise for non-M lines: host(S, evict) stays legal
+        # in the table but every inferred model path now raises.  (The
+        # device-role S eviction survives via its handles annotation —
+        # explicit claims are exempt from path inference by design.)
+        source = base_source.replace(
+            "        if cache_state == _M:\n",
+            "        if cache_state != _M:\n"
+            "            raise ValueError('no S eviction anymore')\n"
+            "        if cache_state == _M:\n",
+        )
+        assert source != base_source
+        findings = analyze_module_drift(
+            source, base_protocol.TRANSITION_TABLE, BASE_RELPATH
+        )
+        assert findings, "raising handler must be reported"
+        assert all(f.rule == "PROTO007" for f in findings)
+        assert any(
+            "host(S, evict)" in f.message and "raises" in f.message
+            for f in findings
+        )
+
+    def test_annotation_naming_unknown_state_is_caught(self, pipm_source):
+        source = pipm_source.replace(
+            "# simcheck: handles device(M, wb)",
+            "# simcheck: handles device(Q, wb)",
+        )
+        assert source != pipm_source
+        findings = analyze_module_drift(
+            source, pipm_protocol.TRANSITION_TABLE, PIPM_RELPATH
+        )
+        assert findings
+        assert all(f.rule == "PROTO007" for f in findings)
+
+    def test_unparseable_module_is_one_finding(self):
+        findings = analyze_module_drift(
+            "def broken(:\n", base_protocol.TRANSITION_TABLE, BASE_RELPATH
+        )
+        assert [f.rule for f in findings] == ["PROTO007"]
+        assert "parse" in findings[0].message

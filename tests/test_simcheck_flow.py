@@ -1,0 +1,323 @@
+"""Units for the simcheck dataflow layer and golden tests for FLOW rules.
+
+The flow subpackage is the dataflow substrate (CFG -> reaching defs ->
+taint); the FLOW rules are its first clients.  The defect-injection
+cases at the bottom are the acceptance tests for the family: an
+unseeded RNG threaded through aliases into simulation code must be
+caught by FLOW001 via a real def-use chain, not a line grep.
+"""
+
+import ast
+import textwrap
+
+from repro.simcheck import lint_source
+from repro.simcheck.engine import REGISTRY
+from repro.simcheck.flow import (
+    ReachingDefinitions,
+    TaintAnalysis,
+    build_cfg,
+    iter_function_units,
+)
+
+
+def _unit(source, name=None):
+    """CFG for the first function in ``source`` (or the module body)."""
+    tree = ast.parse(textwrap.dedent(source))
+    units = dict((n, u) for u, n in iter_function_units(tree))
+    if name is None:
+        name = next(n for n in units if n != "<module>")
+    return build_cfg(units[name], name)
+
+
+def _lint(source, rule_id, **kwargs):
+    return lint_source(
+        textwrap.dedent(source), rules=[REGISTRY[rule_id]], **kwargs
+    )
+
+
+class TestCfg:
+    def test_straight_line_is_single_path(self):
+        cfg = _unit("""
+            def f():
+                a = 1
+                b = a + 1
+                return b
+        """)
+        body = next(b for b in cfg.blocks if b.stmts)
+        assert [type(s).__name__ for s in body.stmts] == [
+            "Assign", "Assign", "Return",
+        ]
+        assert cfg.exit in body.succs
+
+    def test_if_else_branches_rejoin(self):
+        cfg = _unit("""
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        return_blocks = [
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Return) for s in b.stmts)
+        ]
+        assert len(return_blocks) == 1
+        # Both arms of the if feed the join block holding the return.
+        assert len(return_blocks[0].preds) == 2
+
+    def test_while_has_back_edge(self):
+        cfg = _unit("""
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+        """)
+        header = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.While) for s in b.stmts)
+        )
+        body = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.AugAssign) for s in b.stmts)
+        )
+        assert header.bid in body.succs  # loop back edge
+        assert len(header.succs) == 2  # body + fall-through
+
+    def test_code_after_return_is_disconnected(self):
+        cfg = _unit("""
+            def f():
+                return 1
+                x = 2
+        """)
+        dead = next(
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Assign) for s in b.stmts)
+        )
+        assert not dead.preds
+
+    def test_unit_enumeration_and_qualified_names(self):
+        tree = ast.parse(textwrap.dedent("""
+            def top():
+                def inner():
+                    pass
+
+            class Box:
+                def method(self):
+                    pass
+        """))
+        names = [name for _, name in iter_function_units(tree)]
+        assert names == ["<module>", "top", "top.inner", "Box.method"]
+
+
+class TestReachingDefinitions:
+    def test_redefinition_kills_earlier_def(self):
+        cfg = _unit("""
+            def f():
+                x = 1
+                x = 2
+                return x
+        """)
+        rd = ReachingDefinitions(cfg)
+        use = next(
+            (node, b, i) for node, b, i, _ in rd.iter_uses()
+            if node.id == "x"
+        )
+        defs = rd.defs_at(use[1], use[2], "x")
+        assert [d.line for d in defs] == [4]
+
+    def test_branch_join_keeps_both_defs(self):
+        cfg = _unit("""
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+        """)
+        rd = ReachingDefinitions(cfg)
+        use = next(
+            (node, b, i) for node, b, i, _ in rd.iter_uses()
+            if node.id == "x"
+        )
+        defs = rd.defs_at(use[1], use[2], "x")
+        assert sorted(d.line for d in defs) == [4, 6]
+
+    def test_loop_carried_def_reaches_header(self):
+        cfg = _unit("""
+            def f(n):
+                total = 0
+                while n:
+                    total = total + n
+                    n -= 1
+                return total
+        """)
+        rd = ReachingDefinitions(cfg)
+        final_use = max(
+            ((node, b, i) for node, b, i, _ in rd.iter_uses()
+             if node.id == "total"),
+            key=lambda u: u[0].lineno,
+        )
+        lines = sorted(d.line for d in rd.defs_at(final_use[1], final_use[2], "total"))
+        assert lines == [3, 5]  # init and loop body both reach the return
+
+    def test_parameters_are_definitions(self):
+        cfg = _unit("""
+            def f(a, b=1):
+                return a + b
+        """)
+        rd = ReachingDefinitions(cfg)
+        use = next(
+            (node, b, i) for node, b, i, _ in rd.iter_uses()
+            if node.id == "a"
+        )
+        defs = rd.defs_at(use[1], use[2], "a")
+        assert len(defs) == 1 and next(iter(defs)).var == "a"
+
+
+class TestTaintAnalysis:
+    @staticmethod
+    def _tag_calls(tag_by_func):
+        def transfer(d, env):
+            value = d.value
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                name = value.func.id
+                if name in tag_by_func:
+                    return frozenset({tag_by_func[name]})
+            if isinstance(value, ast.Name):
+                return env.get(value.id, frozenset())
+            return frozenset()
+        return transfer
+
+    def test_tags_flow_through_aliases(self):
+        cfg = _unit("""
+            def f():
+                a = make()
+                b = a
+                c = b
+                return c
+        """)
+        rd = ReachingDefinitions(cfg)
+        ta = TaintAnalysis(cfg, rd, self._tag_calls({"make": "hot"}))
+        use = next(
+            (node, b, i) for node, b, i, _ in rd.iter_uses()
+            if node.id == "c"
+        )
+        assert ta.tags_at(use[0], use[1], use[2]) == frozenset({"hot"})
+
+    def test_branch_join_unions_tags(self):
+        cfg = _unit("""
+            def f(c):
+                if c:
+                    g = cold()
+                else:
+                    g = hot()
+                return g
+        """)
+        rd = ReachingDefinitions(cfg)
+        ta = TaintAnalysis(
+            cfg, rd, self._tag_calls({"hot": "hot", "cold": "cold"})
+        )
+        use = next(
+            (node, b, i) for node, b, i, _ in rd.iter_uses()
+            if node.id == "g"
+        )
+        assert ta.tags_at(use[0], use[1], use[2]) == frozenset({"hot", "cold"})
+
+
+class TestFlow001RngProvenance:
+    def test_unseeded_rng_drawn_from_is_flagged(self):
+        findings = _lint("""
+            import random
+
+            def pick(n):
+                rng = random.Random()
+                gen = rng
+                return gen.randrange(n)
+        """, "FLOW001")
+        assert [f.rule for f in findings] == ["FLOW001"]
+        assert findings[0].line == 7  # the escaping use, not the ctor
+
+    def test_seeded_rng_is_clean(self):
+        findings = _lint("""
+            import random
+
+            def pick(n, seed):
+                rng = random.Random(seed)
+                return rng.randrange(n)
+        """, "FLOW001")
+        assert findings == []
+
+    def test_seed_call_sanitizes(self):
+        findings = _lint("""
+            import random
+
+            def pick(n, seed):
+                rng = random.Random()
+                rng.seed(seed)
+                return rng.randrange(n)
+        """, "FLOW001")
+        assert findings == []
+
+    def test_defect_unseeded_rng_reaches_simulate(self):
+        # Acceptance defect: an unseeded generator threaded through an
+        # alias into the simulation entry point.
+        findings = _lint("""
+            import numpy as np
+
+            def run(spec):
+                rng = np.random.default_rng()
+                gen = rng
+                return simulate(spec, gen)
+        """, "FLOW001")
+        assert [f.rule for f in findings] == ["FLOW001"]
+        assert "without a seed" in findings[0].message
+
+    def test_partially_unseeded_branch_is_flagged(self):
+        findings = _lint("""
+            import random
+
+            def pick(flag, n):
+                if flag:
+                    rng = random.Random(7)
+                else:
+                    rng = random.Random()
+                return rng.randrange(n)
+        """, "FLOW001")
+        assert [f.rule for f in findings] == ["FLOW001"]
+
+
+class TestFlow002LatencyUnitTaint:
+    def test_ns_plus_counter_is_flagged(self):
+        findings = _lint("""
+            def cost(events):
+                total_ns = 0.0
+                n_hits = 0
+                for ev in events:
+                    total_ns += ev.lat_ns
+                    n_hits += 1
+                return total_ns + n_hits
+        """, "FLOW002")
+        assert [f.rule for f in findings] == ["FLOW002"]
+
+    def test_ns_times_counter_is_clean(self):
+        findings = _lint("""
+            def cost(events, lat_ns):
+                n_hits = 0
+                for ev in events:
+                    n_hits += 1
+                return lat_ns * n_hits
+        """, "FLOW002")
+        assert findings == []
+
+    def test_counter_augadded_into_ns_accumulator_is_flagged(self):
+        findings = _lint("""
+            def cost(samples):
+                total_ns = 0.0
+                n = 0
+                for s in samples:
+                    n += 1
+                total_ns += n
+                return total_ns
+        """, "FLOW002")
+        assert [f.rule for f in findings] == ["FLOW002"]

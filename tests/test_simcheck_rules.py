@@ -312,7 +312,11 @@ class TestScopesAndSuppressions:
             import time
             t = time.time()  # simcheck: ignore[ORD001]
         """)
-        assert _rules(findings) == ["DET001"]
+        # The real finding survives, and the mistargeted pragma is itself
+        # reported as an unused suppression (see TestUnusedSuppressions).
+        assert sorted(_rules(findings)) == ["DET001", "SUPP001"]
+        by_rule = {f.rule: f.severity for f in findings}
+        assert by_rule == {"DET001": "error", "SUPP001": "info"}
 
     def test_bare_ignore_suppresses_everything_on_line(self):
         findings = _lint("""
@@ -340,7 +344,67 @@ class TestScopesAndSuppressions:
             # simcheck: ignore-file[DET003]
             x = random.randint(0, 9)
         """)
-        assert _rules(findings) == ["DET003"]
+        # Past line 5 the pragma degrades to a line suppression on its
+        # own (finding-free) line, so it also earns a stale-pragma note.
+        assert _rules(findings) == ["SUPP001", "DET003"]
+
+
+class TestUnusedSuppressions:
+    """SUPP001: pragmas that hide nothing are themselves findings."""
+
+    def test_used_pragma_is_silent(self):
+        findings = _lint("""
+            import time
+            t = time.time()  # simcheck: ignore[DET001]
+        """)
+        assert findings == []
+
+    def test_unused_bare_ignore_noted(self):
+        findings = _lint("""
+            x = 1  # simcheck: ignore
+        """)
+        assert _rules(findings) == ["SUPP001"]
+        assert findings[0].severity == "info"
+        assert "every rule" in findings[0].message
+
+    def test_unknown_rule_id_noted(self):
+        findings = _lint("""
+            import time
+            t = time.time()  # simcheck: ignore[DET0O1]
+        """)
+        assert sorted(_rules(findings)) == ["DET001", "SUPP001"]
+        supp = next(f for f in findings if f.rule == "SUPP001")
+        assert "unknown rule" in supp.message
+
+    def test_unused_file_level_pragma_noted(self):
+        findings = _lint("""\
+            # simcheck: ignore-file[DET001]
+            x = 1
+        """)
+        assert _rules(findings) == ["SUPP001"]
+        assert "file-level" in findings[0].message
+
+    def test_rule_subset_does_not_flag_other_pragmas(self):
+        # A golden test linting with only DET001 must not call the
+        # ORD001 pragma stale — ORD001 simply didn't run.
+        from repro.simcheck.engine import REGISTRY
+
+        findings = _lint(
+            """
+            import time
+            t = time.time()  # simcheck: ignore[ORD001]
+            """,
+            rules=[REGISTRY["DET001"]],
+        )
+        assert _rules(findings) == ["DET001"]
+
+    def test_quoted_pragma_text_not_a_claim(self):
+        findings = _lint('''
+            def helper():
+                """Suppress with `# simcheck: ignore[DET001]` on the line."""
+                return 1
+        ''')
+        assert findings == []
 
 
 class TestEngineAndBaseline:
