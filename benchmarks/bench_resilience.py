@@ -1,39 +1,64 @@
-"""Resilience evaluation: PIPM under injected link faults.
+"""Resilience evaluation: PIPM under injected link faults and host crashes.
 
 Companion to the fault-injection layer (src/repro/faults/): runs the
-``none`` / ``flaky`` / ``degraded`` presets against PIPM and Native on
-two workloads and reports the performance cost of faults plus the
-recovery counters.  Checks the layer's two core guarantees:
+``none`` / ``flaky`` / ``degraded`` link presets plus the ``hostdown`` /
+``hostdown-rejoin`` crash presets against PIPM and Native on two
+workloads, and reports the performance cost of faults plus the recovery
+counters.  Checks the layer's core guarantees:
 
 * an all-zero fault plan is byte-identical to running with faults off;
 * a degraded fabric slows the run down but never wedges it — every
-  scenario completes with a clean post-run invariant audit.
+  scenario completes with a clean post-run invariant audit;
+* a host crash is recovered, not survived by accident: the crash fires,
+  recovery reclaims the dead host's directory lines, and MTTR is
+  nonzero and deterministic.
+
+Besides the text table, the sweep persists
+``benchmarks/results/BENCH_resilience.json`` with availability, MTTR,
+and reclaimed-line counts per (workload, scheme, preset) so recovery
+cost can be charted across schemes.
 """
 
 import dataclasses
+import json
 
-from common import run_cached, write_output
+from common import RESULTS_DIR, bench_scale_name, run_cached, write_output
 from repro import FaultConfig, SystemConfig
 from repro.analysis.report import format_table
 
-PRESETS = ["none", "flaky", "degraded"]
+PRESETS = ["none", "flaky", "degraded", "hostdown", "hostdown-rejoin"]
+CRASH_PRESETS = ("hostdown", "hostdown-rejoin")
 SCHEMES = ["native", "pipm"]
 WORKLOADS = ["pr", "ycsb"]
 
 #: Deterministic seed + periodic audits for the faulted runs.
 _OVERRIDES = "seed=7,watchdog-period-ns=200000"
+#: Crash timing pulled inside even a tiny-scale run (which executes for
+#: ~170 us of simulated time); the stock preset crashes at 200 us.
+_CRASH_OVERRIDES = _OVERRIDES + ",crash-at-ns=5e4"
+_REJOIN_OVERRIDES = _CRASH_OVERRIDES + ",crash-rejoin-ns=1.2e5"
+
+JSON_OUT = RESULTS_DIR / "BENCH_resilience.json"
 
 
 def _config(preset):
     base = SystemConfig.scaled()
     if preset is None:
         return base
-    spec = preset if preset == "none" else f"{preset}:{_OVERRIDES}"
+    if preset == "none":
+        spec = preset
+    elif preset == "hostdown-rejoin":
+        spec = f"{preset}:{_REJOIN_OVERRIDES}"
+    elif preset == "hostdown":
+        spec = f"{preset}:{_CRASH_OVERRIDES}"
+    else:
+        spec = f"{preset}:{_OVERRIDES}"
     return dataclasses.replace(base, faults=FaultConfig.parse(spec))
 
 
 def _sweep():
     rows = []
+    metrics = []
     identity_checks = []
     resilience_checks = []
     for workload in WORKLOADS:
@@ -53,10 +78,33 @@ def _sweep():
                     workload, scheme, preset,
                     f"{result.exec_time_ns / base.exec_time_ns:.3f}x",
                     int(stats.get("fault_link_retries", 0)),
-                    int(stats.get("fault_migration_aborts", 0)),
                     int(stats.get("fault_rollbacks", 0)),
+                    f"{result.availability:.4f}",
+                    f"{result.mttr_ns:.0f}",
+                    int(result.lines_reclaimed),
                     int(stats.get("watchdog_violations", 0)),
                 ))
+                metrics.append({
+                    "workload": workload,
+                    "scheme": scheme,
+                    "preset": preset,
+                    "slowdown": round(
+                        result.exec_time_ns / base.exec_time_ns, 4
+                    ),
+                    "availability": round(result.availability, 6),
+                    "mttr_ns": result.mttr_ns,
+                    "lines_reclaimed": result.lines_reclaimed,
+                    "pages_reclaimed": stats.get(
+                        "fault_crash_pages_reclaimed", 0.0
+                    ),
+                    "migrations_aborted": stats.get(
+                        "fault_crash_txns_aborted", 0.0
+                    ),
+                    "lost_updates": stats.get(
+                        "fault_crash_lost_updates", 0.0
+                    ),
+                    "down_ns": stats.get("fault_crash_down_ns", 0.0),
+                })
                 if preset == "none":
                     identity_checks.append((workload, scheme, result, base))
                 else:
@@ -64,18 +112,33 @@ def _sweep():
                                               result, base))
     table = format_table(
         "Resilience: slowdown and recovery under fault presets",
-        ["workload", "scheme", "preset", "slowdown", "retries", "aborts",
-         "rollbacks", "violations"],
+        ["workload", "scheme", "preset", "slowdown", "retries",
+         "rollbacks", "avail", "mttr_ns", "reclaimed", "violations"],
         rows,
     )
-    return table, identity_checks, resilience_checks
+    return table, metrics, identity_checks, resilience_checks
+
+
+def _write_json(metrics):
+    payload = {
+        "bench": "resilience",
+        "scale": bench_scale_name(),
+        "runs": metrics,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_OUT.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return JSON_OUT
 
 
 def test_resilience(benchmark):
-    table, identity_checks, resilience_checks = benchmark.pedantic(
+    table, metrics, identity_checks, resilience_checks = benchmark.pedantic(
         _sweep, rounds=1, iterations=1
     )
     write_output("resilience", table)
+    path = _write_json(metrics)
+    print(f"[metrics saved to {path}]")
 
     for workload, scheme, result, base in identity_checks:
         assert result == base, (
@@ -95,3 +158,23 @@ def test_resilience(benchmark):
             assert result.fault_stats.get("fault_link_retries", 0) > 0, (
                 f"degraded fabric must force retries ({workload}/{scheme})"
             )
+        if preset in CRASH_PRESETS:
+            stats = result.fault_stats
+            assert stats.get("fault_host_crashes", 0) == 1, (
+                f"the scheduled crash must fire ({workload}/{scheme}/{preset})"
+            )
+            assert result.mttr_ns > 0, (
+                f"recovery must charge time ({workload}/{scheme}/{preset})"
+            )
+            assert result.availability < 1.0, (
+                f"a crash must cost host-seconds ({workload}/{scheme}/"
+                f"{preset})"
+            )
+            assert result.lines_reclaimed > 0, (
+                f"the dead host's directory lines must be reclaimed "
+                f"({workload}/{scheme}/{preset})"
+            )
+            if preset == "hostdown-rejoin":
+                assert stats.get("fault_host_rejoins", 0) == 1, (
+                    f"the rejoin must fire ({workload}/{scheme})"
+                )

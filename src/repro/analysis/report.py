@@ -79,6 +79,17 @@ _FAULT_LABELS = (
     ("fault_host_stall_ns", "host stall time (ns)"),
     ("fault_poison_recoveries", "poison recoveries"),
     ("fault_recovery_ns", "recovery time (ns)"),
+    ("fault_host_crashes", "host crashes"),
+    ("fault_host_rejoins", "host rejoins"),
+    ("fault_crash_lines_reclaimed", "  directory lines reclaimed"),
+    ("fault_crash_pages_reclaimed", "  remapped pages reclaimed"),
+    ("fault_crash_txns_aborted", "  in-flight txns aborted"),
+    ("fault_crash_lost_updates", "  lost updates (M, no writeback)"),
+    ("fault_crash_dropped_accesses", "  accesses dropped (dead host)"),
+    ("fault_crash_recovery_ns", "  crash recovery time (ns)"),
+    ("fault_crash_down_ns", "  host-down time (ns)"),
+    ("fault_governor_skips", "governor-suppressed promotions"),
+    ("fault_sabotaged_rollbacks", "sabotaged rollbacks"),
     ("watchdog_violations", "watchdog violations"),
 )
 

@@ -201,6 +201,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "rollback (self-test of the detection pipeline; default: 0)",
     )
     soak.add_argument(
+        "--crash-rate", type=float, default=0.0, metavar="P",
+        help="probability a trial includes a host-crash clause "
+             "(seeded crash time, optional rejoin; default: 0)",
+    )
+    soak.add_argument(
         "--minimize-budget", type=int, default=32,
         help="max re-simulations delta debugging may spend (default: 32)",
     )
@@ -510,6 +515,7 @@ def _cmd_soak(args) -> int:
         workloads=workloads,
         schemes=schemes,
         sabotage_rate=args.sabotage_rate,
+        crash_rate=args.crash_rate,
         minimize_budget=args.minimize_budget,
         artifact_dir=args.artifact_dir,
     )
@@ -519,6 +525,7 @@ def _cmd_soak(args) -> int:
         f"workloads {','.join(workloads)}, schemes {','.join(schemes)}"
         + (f", sabotage rate {args.sabotage_rate:g}"
            if args.sabotage_rate else "")
+        + (f", crash rate {args.crash_rate:g}" if args.crash_rate else "")
     )
     report = harness.run(progress=print)
     if report.clean:

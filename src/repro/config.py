@@ -175,6 +175,17 @@ class FaultConfig:
     poison_count: int = 0
     poison_period_ns: float = 0.0  # event k fires at (k+1) * period
     poison_penalty_ns: float = 500.0  # scrub/re-fetch charge on access
+    # -- host crash / recovery ---------------------------------------------
+    crash_host: int = -1  # -1 disables the crash clause
+    crash_at_ns: float = 0.0  # 0 disables; crash epoch in simulated time
+    crash_rejoin_ns: float = 0.0  # 0 = never rejoins; else rejoin epoch
+    crash_detect_ns: float = 5000.0  # heartbeat-timeout charge in MTTR
+    # -- migration governor (graceful degradation) -------------------------
+    #: Hysteresis hold applied after instability (a degraded-link promotion
+    #: skip or a crash recovery): PIPM promotions stay suspended until the
+    #: hold expires, so migration storms cannot thrash a flapping fabric.
+    #: 0 preserves the pre-governor behaviour exactly.
+    governor_hold_ns: float = 0.0
     # -- deliberate corruption (chaos/soak testing only) -------------------
     #: Number of migration rollbacks to deliberately botch: the global
     #: remap entry is restored but the owner's local entry is not, leaving
@@ -207,6 +218,19 @@ class FaultConfig:
             "poison_count": 16,
             "poison_period_ns": 1e6,
         },
+        "hostdown": {
+            "crash_host": 1,
+            "crash_at_ns": 2e5,
+            "crash_detect_ns": 5e3,
+            "governor_hold_ns": 5e4,
+        },
+        "hostdown-rejoin": {
+            "crash_host": 1,
+            "crash_at_ns": 2e5,
+            "crash_rejoin_ns": 6e5,
+            "crash_detect_ns": 5e3,
+            "governor_hold_ns": 5e4,
+        },
     }
 
     @property
@@ -224,6 +248,10 @@ class FaultConfig:
         return self.poison_count > 0 and self.poison_period_ns > 0
 
     @property
+    def has_crash(self) -> bool:
+        return self.crash_host >= 0 and self.crash_at_ns > 0
+
+    @property
     def idle(self) -> bool:
         """True when no fault source can ever fire (the zero plan)."""
         return (
@@ -231,6 +259,7 @@ class FaultConfig:
             and not self.has_degrade_window
             and not self.has_stalls
             and not self.has_poison
+            and not self.has_crash
         )
 
     def validate(self) -> None:
@@ -249,9 +278,20 @@ class FaultConfig:
             )
         if self.rollback_sabotage_count < 0:
             raise ValueError("rollback_sabotage_count must be non-negative")
+        if self.crash_host < -1:
+            raise ValueError("crash_host must be -1 (off) or a host index")
+        if self.crash_at_ns < 0:
+            raise ValueError("crash_at_ns must be non-negative")
+        if self.crash_rejoin_ns < 0:
+            raise ValueError("crash_rejoin_ns must be non-negative")
+        if self.has_crash and self.crash_rejoin_ns > 0 and (
+            self.crash_rejoin_ns <= self.crash_at_ns
+        ):
+            raise ValueError("crash_rejoin_ns must be after crash_at_ns")
         for knob in ("retry_backoff_ns", "giveup_penalty_ns", "stall_period_ns",
                      "stall_duration_ns", "poison_period_ns",
-                     "poison_penalty_ns", "watchdog_period_ns"):
+                     "poison_penalty_ns", "watchdog_period_ns",
+                     "crash_detect_ns", "governor_hold_ns"):
             if getattr(self, knob) < 0:
                 raise ValueError(f"{knob} must be non-negative")
 
@@ -436,6 +476,16 @@ class SystemConfig:
                     raise ValueError(
                         f"fault plan names host {host}, system has "
                         f"{self.num_hosts}"
+                    )
+            if self.faults.crash_host >= 0:
+                if not 0 <= self.faults.crash_host < self.num_hosts:
+                    raise ValueError(
+                        f"crash plan names host {self.faults.crash_host}, "
+                        f"system has {self.num_hosts}"
+                    )
+                if self.num_hosts < 2:
+                    raise ValueError(
+                        "a host crash needs at least one surviving host"
                     )
 
     def replace(self, **overrides: Any) -> "SystemConfig":

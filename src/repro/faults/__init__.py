@@ -24,6 +24,7 @@ from .injector import (
 )
 from .plan import (
     FaultPlan,
+    HostCrashEvent,
     HostStallWindow,
     LinkDegradeWindow,
     PoisonEvent,
@@ -35,6 +36,7 @@ __all__ = [
     "FaultCounters",
     "FaultInjector",
     "FaultPlan",
+    "HostCrashEvent",
     "HostStallWindow",
     "InvariantWatchdog",
     "LinkDegradeWindow",

@@ -55,6 +55,23 @@ class PoisonEvent:
     line: int
 
 
+@dataclass(frozen=True)
+class HostCrashEvent:
+    """A host fail-stops at ``at_ns`` and optionally rejoins later.
+
+    A crash is a *permanent* fault (contrast the self-healing stall /
+    degrade / poison clauses): the dead host's protocol state — directory
+    ownership, in-flight migration transactions, remap entries naming its
+    DRAM — must be actively reclaimed by the survivors.  ``rejoin_ns`` of
+    ``None`` means the host never comes back; otherwise it rejoins with
+    cold caches and TLB at that epoch.
+    """
+
+    host: int
+    at_ns: float
+    rejoin_ns: Optional[float] = None
+
+
 @dataclass
 class FaultPlan:
     """A fully materialized, reproducible fault schedule for one run."""
@@ -68,6 +85,7 @@ class FaultPlan:
         default_factory=dict
     )
     poison_events: List[PoisonEvent] = field(default_factory=list)
+    crash_events: List[HostCrashEvent] = field(default_factory=list)
 
     @classmethod
     def from_config(
@@ -112,7 +130,81 @@ class FaultPlan:
                 ),
                 key=lambda e: e.at_ns,
             )
+
+        if config.has_crash:
+            plan.crash_events = [
+                HostCrashEvent(
+                    config.crash_host,
+                    config.crash_at_ns,
+                    config.crash_rejoin_ns or None,
+                )
+            ]
+
+        plan.validate()
         return plan
+
+    # -- validation ------------------------------------------------------
+    def validate(self, horizon_ns: Optional[float] = None) -> None:
+        """Reject malformed schedules instead of silently accepting them.
+
+        Checks: every degrade window is non-empty (``end > start``) and no
+        two windows on the same host overlap under the ``[start, end)``
+        semantics of :meth:`LinkDegradeWindow.active`; periodic stall
+        windows do not overlap their successors (``duration < period``);
+        crash events name an in-range host and rejoin strictly after the
+        crash.  With ``horizon_ns``, windows/events that begin at or past
+        the horizon can never fire and are rejected as plan bugs.
+        """
+        for host, windows in sorted(self.degrade_windows.items()):
+            ordered = sorted(windows, key=lambda w: w.start_ns)
+            for window in ordered:
+                if window.end_ns <= window.start_ns:
+                    raise ValueError(
+                        f"host {host}: empty degrade window "
+                        f"[{window.start_ns:g}, {window.end_ns:g})"
+                    )
+                if horizon_ns is not None and window.start_ns >= horizon_ns:
+                    raise ValueError(
+                        f"host {host}: degrade window starts at "
+                        f"{window.start_ns:g}ns, beyond the "
+                        f"{horizon_ns:g}ns horizon"
+                    )
+            for prev, nxt in zip(ordered, ordered[1:]):
+                if nxt.start_ns < prev.end_ns:
+                    raise ValueError(
+                        f"host {host}: degrade windows overlap "
+                        f"([{prev.start_ns:g}, {prev.end_ns:g}) and "
+                        f"[{nxt.start_ns:g}, {nxt.end_ns:g}))"
+                    )
+        if self.stall_windows:
+            period = self.config.stall_period_ns
+            duration = self.config.stall_duration_ns
+            if duration >= period:
+                raise ValueError(
+                    f"stall duration {duration:g}ns >= period {period:g}ns: "
+                    f"periodic windows would overlap"
+                )
+            if horizon_ns is not None and period >= horizon_ns:
+                raise ValueError(
+                    f"first stall window starts at {period:g}ns, beyond "
+                    f"the {horizon_ns:g}ns horizon"
+                )
+        for event in self.crash_events:
+            if not 0 <= event.host < self.num_hosts:
+                raise ValueError(
+                    f"crash names host {event.host}, plan has "
+                    f"{self.num_hosts} hosts"
+                )
+            if event.rejoin_ns is not None and event.rejoin_ns <= event.at_ns:
+                raise ValueError(
+                    f"host {event.host}: rejoin at {event.rejoin_ns:g}ns "
+                    f"is not after the crash at {event.at_ns:g}ns"
+                )
+            if horizon_ns is not None and event.at_ns >= horizon_ns:
+                raise ValueError(
+                    f"host {event.host}: crash at {event.at_ns:g}ns, "
+                    f"beyond the {horizon_ns:g}ns horizon"
+                )
 
     # -- queries ---------------------------------------------------------
     @property
@@ -123,6 +215,7 @@ class FaultPlan:
             and not self.degrade_windows
             and not self.stall_windows
             and not self.poison_events
+            and not self.crash_events
         )
 
     @property
@@ -136,9 +229,10 @@ class FaultPlan:
     def rollback_sabotage_budget(self) -> int:
         """Rollbacks to deliberately botch (chaos/soak testing only).
 
-        Sabotage piggybacks on migration aborts, which only occur while a
-        disruption source is active, so a nonzero budget on an otherwise
-        idle plan never fires — ``is_idle`` deliberately ignores it.
+        Sabotage piggybacks on migration aborts and crash-recovery
+        teardowns, which only occur while a disruption source is active,
+        so a nonzero budget on an otherwise idle plan never fires —
+        ``is_idle`` deliberately ignores it.
         """
         return self.config.rollback_sabotage_count
 

@@ -80,6 +80,7 @@ class InvariantWatchdog:
         self._audit_pipm(found)
         self._audit_page_map(found)
         self._audit_directory(found)
+        self._audit_crash_domain(found)
         if found:
             self.violations.extend(found)
             if self.mode == "fail-fast":
@@ -175,6 +176,55 @@ class InvariantWatchdog:
                 found.append(Violation(
                     "frames", f"host {host}: {in_use} kernel frames in use "
                     f"vs {resident} resident pages", ()))
+
+    def _audit_crash_domain(self, found: List[Violation]) -> None:
+        """Post-recovery invariants: nothing references a crashed host.
+
+        Only meaningful once a crash has been observed; recovery must have
+        left zero directory lines, remap entries, frames, or resident pages
+        naming the dead host.  A botched (sabotaged) recovery trips these.
+        """
+        system = self.system
+        injector = getattr(system, "injector", None)
+        if injector is None or not injector.crashed:
+            return
+        engine = system.engine
+        for dead in sorted(injector.crashed):
+            for entry in system.device_dir.entries():
+                if entry.owner == dead:
+                    found.append(Violation(
+                        "crash-domain", f"line {entry.line:#x} still owned by "
+                        f"crashed host {dead}", ()))
+                elif dead in entry.sharers:
+                    found.append(Violation(
+                        "crash-domain", f"line {entry.line:#x} still tracks "
+                        f"crashed host {dead} as a sharer", ()))
+            if engine is not None:
+                resident = len(engine.local_tables[dead])
+                if resident:
+                    found.append(Violation(
+                        "crash-domain", f"crashed host {dead} still holds "
+                        f"{resident} local remap entries", ()))
+                in_use = engine.frames[dead].in_use
+                if in_use:
+                    found.append(Violation(
+                        "crash-domain", f"crashed host {dead} still has "
+                        f"{in_use} migration frames in use", ()))
+                for page, gentry in engine.global_table.items():
+                    if gentry.current_host == dead:
+                        found.append(Violation(
+                            "crash-domain", f"page {page:#x} globally mapped "
+                            f"to crashed host {dead}", ()))
+                    elif gentry.candidate_host == dead:
+                        found.append(Violation(
+                            "crash-domain", f"page {page:#x} names crashed "
+                            f"host {dead} as migration candidate", ()))
+            if system._cost_model is not None:
+                for page, host in system.page_map.items():
+                    if host == dead:
+                        found.append(Violation(
+                            "crash-domain", f"page {page:#x} still resident "
+                            f"on crashed host {dead}", ()))
 
     def _audit_directory(self, found: List[Violation]) -> None:
         system = self.system

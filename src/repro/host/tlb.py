@@ -41,6 +41,10 @@ class Tlb:
         self.shootdowns += 1
         return self._cache.invalidate(page) is not None
 
+    def flush(self) -> int:
+        """Drop every translation (host crash / cold rejoin); entry count."""
+        return len(self._cache.flush())
+
     @property
     def hit_rate(self) -> float:
         return self._cache.hit_rate

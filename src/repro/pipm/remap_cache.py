@@ -52,6 +52,10 @@ class RemapCache:
     def invalidate(self, page: int) -> None:
         self._cache.invalidate(page)
 
+    def flush(self) -> int:
+        """Drop every cached entry (host crash / cold rejoin); entry count."""
+        return len(self._cache.flush())
+
     @property
     def hits(self) -> int:
         return self._cache.hits

@@ -92,5 +92,9 @@ class GlobalRemapTable:
             if entry.current_host != NO_HOST:
                 yield page, entry
 
+    def items(self) -> Iterator[Tuple[int, GlobalRemapEntry]]:
+        """Every lazily materialized ``(page, entry)`` pair."""
+        return iter(self._entries.items())
+
     def touched_entries(self) -> int:
         return len(self._entries)

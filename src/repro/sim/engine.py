@@ -876,13 +876,16 @@ class SimulationEngine:
         interval_scheme = system._next_interval is not None
         injector = system.injector
         check_stalls = injector is not None and injector.has_stalls
+        check_crash = injector is not None and injector.has_crashes
         watchdog = system.watchdog
         check_watchdog = (
             watchdog is not None and watchdog.period_ns > 0
         )
         # When no interval scheme / fault plan / watchdog is armed, the
         # inner loop skips their checks entirely (the common profile case).
-        eventful = interval_scheme or check_stalls or check_watchdog
+        eventful = (
+            interval_scheme or check_stalls or check_watchdog or check_crash
+        )
 
         stall_by_service = [0.0] * 7
         svc_l1 = _SVC_L1
@@ -892,6 +895,7 @@ class SimulationEngine:
         lens = [len(stream) for stream in streams]
         inv_mlp = [host.core.inv_mlp for host in hosts]
         access_counts = [0] * len(hosts)
+        inf = math.inf
 
         # Heap of (clock_ns, host_id, next_index).  The loop holds the
         # current minimum in ``item`` and continues a host via heappushpop,
@@ -922,10 +926,35 @@ class SimulationEngine:
                     host.clock_ns = resume
                     item = heappushpop(heap, (resume, host_id, index))
                     continue
+            if check_crash:
+                resume = injector.crash_resume(host_id, clock)
+                if resume is not None:
+                    if resume == inf:
+                        # Fail-stop with no rejoin: drop the host's
+                        # remaining stream deterministically (counted).
+                        injector.counters.crash_dropped_accesses += (
+                            lens[host_id] - index
+                        )
+                        if heap:
+                            item = heappop(heap)
+                            continue
+                        break
+                    # Dead until the rejoin epoch: pause the stream.
+                    host.clock_ns = resume
+                    item = heappushpop(heap, (resume, host_id, index))
+                    continue
             compute_ns, addr, is_write, core = streams[host_id][index]
             now = host_clock + compute_ns
             host.clock_ns = now
             if eventful:
+                if check_crash:
+                    system.maybe_crash(now)
+                    if host_id in injector.crashed:
+                        # This access died with its host at the crash
+                        # epoch: requeue so the next turn pauses or drops
+                        # the stream instead of serving it.
+                        item = heappushpop(heap, (now, host_id, index))
+                        continue
                 if interval_scheme:
                     system.maybe_tick(now)
                 if check_watchdog:
@@ -956,12 +985,15 @@ class SimulationEngine:
         interval_scheme = system._next_interval is not None
         injector = system.injector
         check_stalls = injector is not None and injector.has_stalls
+        check_crash = injector is not None and injector.has_crashes
         watchdog = system.watchdog
         check_watchdog = (
             watchdog is not None and watchdog.period_ns > 0
         )
         check_poison = system._check_poison
-        eventful = interval_scheme or check_stalls or check_watchdog
+        eventful = (
+            interval_scheme or check_stalls or check_watchdog or check_crash
+        )
         bounded = eventful or check_poison
 
         stall_by_service = [0.0] * 7
@@ -1030,6 +1062,23 @@ class SimulationEngine:
                     host.clock_ns = resume
                     item = heappushpop(heap, (resume, host_id, index))
                     continue
+            if check_crash:
+                resume = injector.crash_resume(host_id, clock)
+                if resume is not None:
+                    if resume == inf:
+                        # Fail-stop with no rejoin: drop the host's
+                        # remaining stream deterministically (counted).
+                        injector.counters.crash_dropped_accesses += (
+                            length - index
+                        )
+                        if heap:
+                            item = heappop(heap)
+                            continue
+                        break
+                    # Dead until the rejoin epoch: pause the stream.
+                    host.clock_ns = resume
+                    item = heappushpop(heap, (resume, host_id, index))
+                    continue
 
             # ---- burst attempt: the host's flattened fast path --------
             # ``event_bound`` fences every time-ordered side channel the
@@ -1052,6 +1101,14 @@ class SimulationEngine:
                     stall_bound = injector.next_stall_start(host_id, clock)
                     if stall_bound < event_bound:
                         event_bound = stall_bound
+                if check_crash:
+                    # No burst may cross a crash/rejoin epoch; while the
+                    # governor holds promotions suspended the fence is 0.0
+                    # so every access runs the serialized slow path.
+                    # simcheck: bails[crash-epoch]
+                    crash_bound = injector.crash_fence(clock)
+                    if crash_bound < event_bound:
+                        event_bound = crash_bound
             consumed = 0
             l1_count = 0
             streak = 0
@@ -1142,6 +1199,14 @@ class SimulationEngine:
             now = host_clock + compute_ns
             host.clock_ns = now
             if eventful:
+                if check_crash:
+                    system.maybe_crash(now)
+                    if host_id in injector.crashed:
+                        # This access died with its host at the crash
+                        # epoch: requeue so the next turn pauses or drops
+                        # the stream instead of serving it.
+                        item = heappushpop(heap, (now, host_id, index))
+                        continue
                 if interval_scheme:
                     system.maybe_tick(now)
                 if check_watchdog:

@@ -165,6 +165,34 @@ class SimulationResult:
             if key.startswith("fault_") or key.startswith("watchdog_")
         }
 
+    @property
+    def mttr_ns(self) -> float:
+        """Mean time to recover from a host crash (0 when none occurred)."""
+        crashes = self.stats.get("fault_host_crashes", 0.0)
+        if crashes <= 0:
+            return 0.0
+        return self.stats.get("fault_crash_recovery_ns", 0.0) / crashes
+
+    @property
+    def availability(self) -> float:
+        """Fraction of host-seconds the cluster was up.
+
+        ``1.0`` for a crash-free run; a permanent crash of one of N hosts
+        at the midpoint yields roughly ``1 - 1/(2N)``.  Down-time is the
+        scheduled crash→rejoin (or crash→end-of-run) span, so the metric
+        is a pure function of the fault plan and the execution window.
+        """
+        if self.exec_time_ns <= 0 or not self.num_hosts:
+            return 1.0
+        down = self.stats.get("fault_crash_down_ns", 0.0)
+        budget = self.exec_time_ns * self.num_hosts
+        return max(0.0, 1.0 - down / budget)
+
+    @property
+    def lines_reclaimed(self) -> float:
+        """Directory lines reclaimed during crash recovery."""
+        return self.stats.get("fault_crash_lines_reclaimed", 0.0)
+
     def resilience_summary(self) -> str:
         """One line of fault/recovery counters, or a clean-run marker."""
         stats = self.fault_stats

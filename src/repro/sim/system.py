@@ -183,6 +183,13 @@ class MultiHostSystem:
         self._check_poison = (
             self.injector is not None and self.injector.has_poison
         )
+        self._check_crash = (
+            self.injector is not None and self.injector.has_crashes
+        )
+        # Promotion gating: degraded links and/or the crash governor.
+        self._governed = self.injector is not None and (
+            self.injector.can_disrupt_transfers or self.injector.has_crashes
+        )
 
         self.engine: Optional[PipmEngine] = None
         self.page_map: Dict[int, int] = {}
@@ -633,10 +640,12 @@ class MultiHostSystem:
             # the plain CXL access.
 
         if current == NO_HOST:
-            if self._faults_on and self.injector.link_degraded(host_id, now):
+            if self._governed and self.injector.promotion_blocked(host_id, now):
                 # Graceful degradation: no vote progress and no new partial
-                # migrations while this host's link runs degraded.
-                self.injector.counters.degraded_skips += 1
+                # migrations while this host's link runs degraded or the
+                # migration governor holds promotions suspended (link flap
+                # hysteresis / crash recovery in progress).
+                pass
             else:
                 # simcheck: escalates[pipm-promotion]
                 dest = engine.record_cxl_access(page, host_id)
@@ -880,10 +889,14 @@ class MultiHostSystem:
         for page, dest in capped:
             if page in self.page_map:
                 continue
-            if self._faults_on and self.injector.link_degraded(dest, now):
+            if self._check_crash and dest in self.injector.crashed:
+                # Never promote pages onto a dead host.
+                self.injector.counters.governor_skips += 1
+                continue
+            if self._governed and self.injector.promotion_blocked(dest, now):
                 # Graceful degradation: do not start promotions onto a host
-                # whose link is running degraded.
-                self.injector.counters.degraded_skips += 1
+                # whose link is running degraded, nor during a governor
+                # hold (link flap hysteresis / crash recovery).
                 continue
             pfn = self.frames[dest].alloc()
             if pfn is None:
@@ -944,6 +957,159 @@ class MultiHostSystem:
             self.device_dir.remove(line)
 
     # ------------------------------------------------------------------
+    # Host-crash fault domain (recovery orchestrator)
+    # ------------------------------------------------------------------
+    def maybe_crash(self, now: float) -> None:
+        """Process crash/rejoin epochs that came due by ``now``.
+
+        Both engine backends call this at the same global-order points as
+        :meth:`maybe_tick` (and the vector backend fences its batches at
+        the next epoch), so the recovery timeline is identical under loop
+        and vector execution.
+        """
+        injector = self.injector
+        if now < injector.next_crash_ns:
+            return
+        # simcheck: escalates[crash-epoch]
+        for host, is_rejoin in injector.due_crash_events(now):
+            if is_rejoin:
+                self._rejoin_host(host, now)
+            else:
+                self._recover_from_crash(host, now)
+
+    def _recover_from_crash(self, dead: int, now: float) -> None:
+        """Survivor-side recovery when host ``dead`` fail-stops at ``now``.
+
+        Ordering (each step a deterministic function of the pre-crash
+        state): directory reclaim -> dead-host cache/TLB scrub -> PIPM
+        transaction teardown -> global candidate fencing -> kernel
+        page-map teardown -> MTTR charge + governor suspension.
+        """
+        import dataclasses
+
+        injector = self.injector
+        counters = injector.counters
+        injector.crashed.add(dead)
+        counters.host_crashes += 1
+
+        # (1) Directory reclaim: no surviving entry may name the dead
+        # host.  M-state lines the dead host never wrote back are lost
+        # updates — counted, never silently dropped.
+        stale = [
+            entry for entry in list(self.device_dir.entries())
+            if entry.owner == dead or dead in entry.sharers
+        ]
+        for entry in sorted(stale, key=lambda e: e.line):
+            if entry.state == _M and entry.owner == dead:
+                counters.crash_lost_updates += 1
+            entry.sharers.discard(dead)
+            if entry.owner == dead:
+                entry.owner = -1
+                entry.state = _S if entry.sharers else _I
+            if not entry.sharers:
+                self.device_dir.remove(entry.line)
+            counters.crash_lines_reclaimed += 1
+        dir_touched = len(stale)
+
+        # (2) The dead host's caches and TLB vanish with it (no writeback;
+        # dirty shared state was already counted through the directory).
+        self._purge_host_state(dead)
+
+        # (3) PIPM teardown: every page partially migrated to the dead
+        # host is an orphaned migration transaction.  Abort each through
+        # the begin_txn/rollback machinery with an empty target state:
+        # the rollback frees the frame, drops the local entry + remap
+        # cache line, and returns the page to the all-zeros global state.
+        pages_torn = 0
+        if self._is_pipm:
+            engine = self.engine
+            table = engine.local_tables[dead]
+            for page in sorted(table._entries):
+                txn = engine.begin_txn(dead, page)
+                if injector.consume_rollback_sabotage():
+                    # Deliberately botched recovery (chaos/soak testing):
+                    # leave the orphaned entry dangling so the watchdog's
+                    # crash-domain audit has a real violation to catch.
+                    continue
+                entry = table.lookup(page)
+                if entry is not None and entry.migrated_count:
+                    # Lines whose only copy lived in the dead host's DRAM.
+                    counters.crash_lost_updates += entry.migrated_count
+                aborted = dataclasses.replace(
+                    txn, global_entry=None, local_entry=None,
+                    cache_resident=False,
+                )
+                engine.rollback(aborted)
+                counters.crash_txns_aborted += 1
+                counters.crash_pages_reclaimed += 1
+                pages_torn += 1
+            # (4) Fence global remap entries still voting for the dead
+            # host so no future promotion targets its DRAM.
+            for page, gentry in sorted(engine.global_table.items()):
+                if gentry.candidate_host == dead:
+                    gentry.candidate_host = NO_HOST
+                    gentry.counter = 0
+
+        # (5) Kernel page-map teardown: pages migrated to the dead host's
+        # DRAM return to CXL memory; dirty ones are lost updates.
+        if self._is_page_map:
+            dead_pages = sorted(
+                page for page, loc in self.page_map.items() if loc == dead
+            )
+            for page in dead_pages:
+                if page in self.dirty_pages:
+                    counters.crash_lost_updates += 1
+                    self.dirty_pages.discard(page)
+                del self.page_map[page]
+                pfn = self._page_frames.pop(page, None)
+                if pfn is not None:
+                    self.frames[dead].free(pfn)
+                self._flush_page(page)
+                for host in self.hosts:
+                    host.tlb.shootdown(page)
+                    host.page_table.remap(page)
+                counters.crash_pages_reclaimed += 1
+                pages_torn += 1
+
+        # (6) MTTR: detection (heartbeat timeout) + one directory
+        # transaction per reclaimed entry + two link flights per page
+        # torn down.  A pure function of config constants and the counts
+        # above, so the recovery timeline is byte-deterministic per seed.
+        mttr = (
+            injector.crash_detect_ns
+            + dir_touched * self._ddir_ns
+            + pages_torn * 2.0 * self.config.cxl_link.latency_ns
+        )
+        counters.crash_recovery_ns += mttr
+        injector.suspend_promotions(now + mttr + injector.governor_hold_ns)
+
+    def _rejoin_host(self, host_id: int, now: float) -> None:
+        """A crashed host comes back cold: empty caches, TLB, remap cache.
+
+        Its local remap table and frames were reclaimed at crash time, so
+        remap state re-warms through normal promotion traffic after the
+        rejoin; nothing survives from before the crash.
+        """
+        injector = self.injector
+        injector.crashed.discard(host_id)
+        injector.counters.host_rejoins += 1
+        self._purge_host_state(host_id)
+
+    def _purge_host_state(self, host_id: int) -> None:
+        """Drop a host's cached state in place (crash teardown / rejoin).
+
+        Mutates the existing cache objects rather than replacing them: the
+        vector backend's per-host closures bind these objects directly.
+        """
+        host = self.hosts[host_id]
+        for l1 in host.l1s:
+            l1.flush()
+        host.llc.flush()
+        host.tlb.flush()
+        if self._is_pipm:
+            self.engine.local_caches[host_id].flush()
+
+    # ------------------------------------------------------------------
     # End-of-run accounting
     # ------------------------------------------------------------------
     def fault_stats(self) -> Dict[str, float]:
@@ -968,6 +1134,16 @@ class MultiHostSystem:
                 ("fault_host_stall_ns", c.host_stall_ns),
                 ("fault_poison_recoveries", c.poison_recoveries),
                 ("fault_recovery_ns", c.recovery_ns),
+                ("fault_host_crashes", c.host_crashes),
+                ("fault_host_rejoins", c.host_rejoins),
+                ("fault_crash_lost_updates", c.crash_lost_updates),
+                ("fault_crash_lines_reclaimed", c.crash_lines_reclaimed),
+                ("fault_crash_pages_reclaimed", c.crash_pages_reclaimed),
+                ("fault_crash_txns_aborted", c.crash_txns_aborted),
+                ("fault_crash_dropped_accesses", c.crash_dropped_accesses),
+                ("fault_crash_recovery_ns", c.crash_recovery_ns),
+                ("fault_crash_down_ns", c.crash_down_ns),
+                ("fault_governor_skips", c.governor_skips),
             ):
                 if value:
                     out[key] = float(value)
@@ -976,6 +1152,22 @@ class MultiHostSystem:
         return out
 
     def finalize(self) -> None:
+        if self._check_crash:
+            end_ns = max((host.clock_ns for host in self.hosts), default=0.0)
+            # A crash epoch the trace ended just short of observing is
+            # still recovered (both backends finalize identically), so
+            # the availability accounting below matches the timeline.
+            self.maybe_crash(end_ns)
+            counters = self.injector.counters
+            down = 0.0
+            for event in self.injector.plan.crash_events:
+                if event.at_ns > end_ns:
+                    continue
+                rejoin = event.rejoin_ns
+                up = end_ns if rejoin is None else min(rejoin, end_ns)
+                if up > event.at_ns:
+                    down += up - event.at_ns
+            counters.crash_down_ns = down
         if self.ledger is not None:
             self.ledger.finalize()
         if self.engine is not None:

@@ -22,6 +22,15 @@ but contains no ``break``/``return``/``raise`` has no attempt bound and
 no deadline — a wedged dependency turns the process into a zombie that
 supervision cannot distinguish from slow progress.  Bound the wait with
 an attempt budget, a deadline, or an exit condition.
+
+ROB003 closes the remaining gap between the two: the *unbounded retry*.
+A constant-true loop whose exception handler swallows the failure and
+retries unconditionally (a top-level ``continue``, or a no-op body that
+falls through to the next iteration) never gives up — a persistently
+failing dependency spins forever, burning CPU and hiding the root cause.
+A ``continue`` nested under an ``if`` counts as an attempt bound (the
+sweep runner's ``if attempt <= retries: continue`` idiom); so does a
+handler that re-raises, breaks, or returns.
 """
 
 from __future__ import annotations
@@ -164,3 +173,63 @@ class UnboundedSleepLoopRule(Rule):
                     "progress; bound it with an attempt budget or "
                     "deadline",
                 )
+
+
+def _own_loop_statements(body):
+    """Statements whose nearest enclosing loop is the one passed in.
+
+    Unlike :func:`_loop_statements` this also stops at nested loops: a
+    ``continue`` inside an inner ``for``/``while`` retries *that* loop,
+    not the outer one, so its handlers must not be attributed here.
+    """
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef, ast.For,
+                             ast.AsyncFor, ast.While)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+
+
+def _handler_retries_unconditionally(handler: ast.ExceptHandler) -> bool:
+    """True when a handler swallows the failure and always retries."""
+    if _body_reraises(handler.body):
+        return False
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Break, ast.Return)):
+            return False
+        if isinstance(stmt, ast.Continue):
+            return True  # top-level continue: every failure retries
+    return _body_is_noop(handler.body)  # swallow-and-fall-through
+
+
+@register
+class UnboundedRetryLoopRule(Rule):
+    id = "ROB003"
+    title = "retry loop with no attempt bound"
+    scopes = ("src",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _constant_true(node.test):
+                continue  # a real condition bounds the retries
+            for stmt in _own_loop_statements(node.body):
+                if not isinstance(stmt, ast.Try):
+                    continue
+                for handler in stmt.handlers:
+                    if _handler_retries_unconditionally(handler):
+                        yield ctx.finding(
+                            self.id,
+                            handler,
+                            "'while True' retry swallows the failure and "
+                            "retries unconditionally: a persistently "
+                            "failing dependency spins forever; bound it "
+                            "with an attempt counter or deadline before "
+                            "the continue",
+                        )

@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Sequence
 from ..config import FaultConfig
 
 #: Clause kinds, in canonical fold order.
-KINDS = ("errors", "degrade", "stall", "poison", "sabotage")
+KINDS = ("errors", "degrade", "stall", "poison", "crash", "sabotage")
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,29 @@ def build_fault_config(
                 values["poison_period_ns"] = min(
                     values.get("poison_period_ns", float("inf")), period
                 )
+        elif clause.kind == "crash":
+            # Earliest crash wins (more of the run is affected); a
+            # permanent crash (rejoin 0) dominates any finite rejoin,
+            # else the latest rejoin (longest outage) wins.
+            values["crash_at_ns"] = min(
+                values.get("crash_at_ns", float("inf")),
+                float(p.get("at_ns", 0.0)),
+            )
+            host = int(p.get("host", 1))
+            values["crash_host"] = min(values.get("crash_host", host), host)
+            rejoin = float(p.get("rejoin_ns", 0.0))
+            prev = values.get("crash_rejoin_ns")
+            if prev is None:
+                values["crash_rejoin_ns"] = rejoin
+            elif prev == 0.0 or rejoin == 0.0:
+                values["crash_rejoin_ns"] = 0.0
+            else:
+                values["crash_rejoin_ns"] = max(prev, rejoin)
+            if "governor_hold_ns" in p:
+                values["governor_hold_ns"] = max(
+                    values.get("governor_hold_ns", 0.0),
+                    float(p["governor_hold_ns"]),
+                )
         elif clause.kind == "sabotage":
             values["rollback_sabotage_count"] = values.get(
                 "rollback_sabotage_count", 0
@@ -133,7 +156,9 @@ def build_fault_config(
     return config
 
 
-def draw_clauses(rng, sabotage_rate: float = 0.0) -> List[FaultClause]:
+def draw_clauses(
+    rng, sabotage_rate: float = 0.0, crash_rate: float = 0.0
+) -> List[FaultClause]:
     """Draw one trial's randomized clause list from ``rng``.
 
     Parameter ranges are calibrated to tiny/small scaled runs (hundreds
@@ -141,7 +166,9 @@ def draw_clauses(rng, sabotage_rate: float = 0.0) -> List[FaultClause]:
     overlaps the run.  ``sabotage_rate`` is the probability of including
     a deliberate-corruption clause — zero for real chaos testing (random
     faults must never corrupt state), nonzero to self-test the
-    detection/minimization pipeline.
+    detection/minimization pipeline.  ``crash_rate`` is the probability
+    of including a host-crash clause; it consumes RNG draws only when
+    nonzero, so legacy seeds replay unchanged at the default.
     """
     clauses: List[FaultClause] = []
     if rng.random() < 0.9:
@@ -167,6 +194,12 @@ def draw_clauses(rng, sabotage_rate: float = 0.0) -> List[FaultClause]:
             "count": rng.randint(4, 32),
             "period_ns": round(rng.uniform(5e3, 5e4), 1),
         }))
+    if crash_rate > 0 and rng.random() < crash_rate:
+        at = rng.uniform(5e4, 2.5e5)
+        params = {"host": rng.randint(1, 3), "at_ns": round(at, 1)}
+        if rng.random() < 0.5:
+            params["rejoin_ns"] = round(at + rng.uniform(1e5, 3e5), 1)
+        clauses.append(FaultClause("crash", params))
     if rng.random() < sabotage_rate:
         clauses.append(FaultClause("sabotage", {
             "count": rng.randint(1, 3),

@@ -174,6 +174,7 @@ class SoakHarness:
         workloads: Sequence[str] = ("pr", "ycsb"),
         schemes: Sequence[str] = ("pipm", "memtis"),
         sabotage_rate: float = 0.0,
+        crash_rate: float = 0.0,
         watchdog_period_ns: float = 20_000.0,
         minimize_budget: int = 32,
         artifact_dir: Union[str, Path] = "soak-artifacts",
@@ -186,6 +187,8 @@ class SoakHarness:
             )
         if not 0.0 <= sabotage_rate <= 1.0:
             raise ValueError("sabotage_rate must be in [0, 1]")
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ValueError("crash_rate must be in [0, 1]")
         self.seed = seed
         self.trials = trials
         self.budget_s = budget_s
@@ -194,6 +197,7 @@ class SoakHarness:
         self.workloads = list(workloads)
         self.schemes = list(schemes)
         self.sabotage_rate = sabotage_rate
+        self.crash_rate = crash_rate
         self.watchdog_period_ns = watchdog_period_ns
         self.minimize_budget = minimize_budget
         self.artifact_dir = Path(artifact_dir)
@@ -203,7 +207,9 @@ class SoakHarness:
         """One randomized trial; every draw comes from ``rng``."""
         workload = rng.choice(self.workloads)
         scheme = rng.choice(self.schemes)
-        clauses = draw_clauses(rng, sabotage_rate=self.sabotage_rate)
+        clauses = draw_clauses(
+            rng, sabotage_rate=self.sabotage_rate, crash_rate=self.crash_rate
+        )
         return SoakTrial(
             seed=rng.randrange(1 << 30),
             workload=workload,

@@ -666,3 +666,94 @@ class TestUnboundedSleepLoopRule:
                     time.sleep(0.2)
         """)
         assert findings == []
+
+
+class TestUnboundedRetryLoopRule:
+    def test_unconditional_continue_flagged(self):
+        findings = _lint("""
+            def fetch(job):
+                while True:
+                    try:
+                        return job.run()
+                    except Exception:
+                        continue
+        """)
+        assert _rules(findings) == ["ROB003"]
+
+    def test_swallow_and_fall_through_flagged(self):
+        findings = _lint("""
+            def fetch(job):
+                while True:
+                    try:
+                        job.step()
+                    except ValueError:
+                        pass
+        """)
+        assert _rules(findings) == ["ROB003"]
+
+    def test_attempt_bounded_continue_not_flagged(self):
+        """The sweep runner's idiom: retry only while attempts remain."""
+        findings = _lint("""
+            def fetch(job, retries):
+                attempt = 0
+                while True:
+                    attempt += 1
+                    try:
+                        return job.run()
+                    except Exception as exc:
+                        if attempt <= retries:
+                            continue
+                        record_failure(job, exc)
+                        break
+        """)
+        assert findings == []
+
+    def test_reraising_handler_not_flagged(self):
+        findings = _lint("""
+            def fetch(job):
+                while True:
+                    try:
+                        return job.run()
+                    except KeyboardInterrupt:
+                        raise
+        """)
+        assert findings == []
+
+    def test_bounded_outer_loop_not_flagged(self):
+        findings = _lint("""
+            def fetch(job, attempts):
+                for _ in range(attempts):
+                    try:
+                        return job.run()
+                    except Exception:
+                        continue
+        """)
+        assert findings == []
+
+    def test_inner_loop_handler_not_attributed_to_outer(self):
+        """A retrying handler inside a bounded inner loop continues the
+        inner loop, so the outer while-True must not be blamed."""
+        findings = _lint("""
+            def drain(queue):
+                while True:
+                    batch = queue.take()
+                    if not batch:
+                        break
+                    for job in batch:
+                        try:
+                            job.run()
+                        except Exception:
+                            continue
+        """)
+        assert findings == []
+
+    def test_suppression_comment_honoured(self):
+        findings = _lint("""
+            def poll_forever(source):
+                while True:
+                    try:
+                        source.read()
+                    except OSError:  # simcheck: ignore[ROB003]
+                        continue
+        """)
+        assert findings == []
