@@ -34,7 +34,7 @@ from typing import List, Optional
 from . import __version__
 from .analysis.report import format_fault_report, format_table
 from .coherence import BaseCxlDsmModel, ModelChecker, PipmModel
-from .config import FaultConfig, SystemConfig
+from .config import FabricConfig, FaultConfig, SystemConfig
 from .sim.engine import BACKENDS
 from .sim.harness import DEFAULT_SCHEMES, compare_schemes, run_experiment
 from .units import pretty_size, pretty_time
@@ -61,9 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-bandwidth-gbs", type=float, default=None)
     run.add_argument(
         "--faults", default=None, metavar="SPEC",
-        help="fault-injection spec: a preset (none, flaky, degraded, storm) "
-             "optionally followed by :key=value overrides, e.g. "
+        help="fault-injection spec: a preset (none, flaky, degraded, storm, "
+             "switchdown) optionally followed by :key=value overrides, e.g. "
              "'degraded:seed=3,transfer-error-rate=1e-3'",
+    )
+    run.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="fabric topology spec: a preset (flat, single-switch, "
+             "two-tier) optionally followed by :key=value overrides, e.g. "
+             "'two-tier:hosts-per-leaf=4,uplink-bandwidth-gbs=10'",
     )
 
     compare = sub.add_parser("compare", help="compare schemes on a workload")
@@ -74,6 +80,8 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--hosts", type=int, default=4)
     compare.add_argument("--faults", default=None, metavar="SPEC",
                          help="fault-injection spec (see 'run --faults')")
+    compare.add_argument("--topology", default=None, metavar="SPEC",
+                         help="fabric topology spec (see 'run --topology')")
 
     sweep = sub.add_parser(
         "sweep",
@@ -305,8 +313,16 @@ def _config_for(args) -> SystemConfig:
         cfg = cfg.replace_nested(
             "cxl_link", bandwidth_gbs=args.link_bandwidth_gbs
         )
+    if getattr(args, "topology", None) is not None:
+        cfg = dataclasses.replace(
+            cfg, fabric=FabricConfig.parse(args.topology)
+        )
     if getattr(args, "faults", None) is not None:
         cfg = dataclasses.replace(cfg, faults=FaultConfig.parse(args.faults))
+    if (
+        getattr(args, "topology", None) is not None
+        or getattr(args, "faults", None) is not None
+    ):
         cfg.validate()
     return cfg
 

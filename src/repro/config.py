@@ -83,6 +83,133 @@ class CxlLinkConfig:
 
 
 @dataclass(frozen=True)
+class FabricConfig:
+    """The CXL fabric between the hosts and the memory node.
+
+    ``flat`` is the paper's implicit topology — every host owns a
+    point-to-point :class:`CxlLinkConfig` link to the memory node and no
+    switch sits in between; it is byte-identical to the pre-fabric model.
+    ``single-switch`` routes every host's edge link through one switch
+    whose memory-node port is a shared per-direction bandwidth queue, so
+    hosts contend for the device the way a real pooled rack does.
+    ``two-tier`` groups hosts under leaf switches whose shared uplinks
+    feed a spine switch in front of the memory node (the CXL-ClusterSim /
+    DRackSim rack shape): two switch hops, two shared queues.
+    """
+
+    topology: str = "flat"  # flat | single-switch | two-tier
+    #: One-way traversal latency of a switch (per hop, per direction).
+    switch_latency_ns: float = 25.0
+    #: Bandwidth of the switch port facing the memory node — shared by
+    #: every host behind that switch (per direction).
+    switch_port_bandwidth_gbs: float = 20.0
+    #: Wire latency of a leaf->spine uplink (two-tier only).
+    uplink_latency_ns: float = 10.0
+    #: Bandwidth of one leaf's shared uplink (per direction).
+    uplink_bandwidth_gbs: float = 15.0
+    #: Hosts grouped under each leaf switch (two-tier only).
+    hosts_per_leaf: int = 8
+
+    TOPOLOGIES = ("flat", "single-switch", "two-tier")
+
+    #: Named starting points for :meth:`parse` (one per topology).
+    PRESETS = {
+        "flat": {},
+        "single-switch": {"topology": "single-switch"},
+        "two-tier": {"topology": "two-tier"},
+    }
+
+    @property
+    def is_flat(self) -> bool:
+        return self.topology == "flat"
+
+    def num_leaves(self, num_hosts: int) -> int:
+        """Leaf-switch count for ``num_hosts`` (two-tier only, else 0)."""
+        if self.topology != "two-tier":
+            return 0
+        return (num_hosts + self.hosts_per_leaf - 1) // self.hosts_per_leaf
+
+    def num_switches(self, num_hosts: int) -> int:
+        """Switches a system of ``num_hosts`` instantiates.
+
+        ``single-switch`` has switch 0; ``two-tier`` numbers the leaves
+        ``0..L-1`` and the spine ``L``.
+        """
+        if self.topology == "flat":
+            return 0
+        if self.topology == "single-switch":
+            return 1
+        return self.num_leaves(num_hosts) + 1
+
+    def validate(self) -> None:
+        if self.topology not in self.TOPOLOGIES:
+            raise ValueError(
+                f"unknown fabric topology {self.topology!r}; choose from "
+                f"{list(self.TOPOLOGIES)}"
+            )
+        if self.switch_latency_ns < 0 or self.uplink_latency_ns < 0:
+            raise ValueError("switch/uplink latencies must be non-negative")
+        if self.switch_port_bandwidth_gbs <= 0:
+            raise ValueError("switch_port_bandwidth_gbs must be positive")
+        if self.uplink_bandwidth_gbs <= 0:
+            raise ValueError("uplink_bandwidth_gbs must be positive")
+        if self.hosts_per_leaf < 1:
+            raise ValueError("hosts_per_leaf must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FabricConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        config = cls(**{k: v for k, v in data.items() if k in known})
+        config.validate()
+        return config
+
+    @classmethod
+    def parse(cls, spec: str) -> "FabricConfig":
+        """Build a config from a CLI spec: ``preset[:key=val,...]``.
+
+        ``spec`` is a topology name (``flat``, ``single-switch``,
+        ``two-tier``) optionally followed by overrides; dashes in key
+        names are accepted (``hosts-per-leaf`` == ``hosts_per_leaf``).
+        """
+        spec = spec.strip()
+        preset, _, rest = spec.partition(":")
+        if preset not in cls.PRESETS:
+            raise ValueError(
+                f"unknown fabric topology {preset!r}; choose from "
+                f"{sorted(cls.PRESETS)}"
+            )
+        values: Dict[str, Any] = dict(cls.PRESETS[preset])
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        for token in filter(None, (t.strip() for t in rest.split(","))):
+            key, sep, raw = token.partition("=")
+            key = key.strip().replace("-", "_")
+            if not sep or key not in fields or key == "topology":
+                raise ValueError(f"bad fabric override {token!r}")
+            if isinstance(fields[key].default, int):
+                values[key] = int(float(raw))
+            else:
+                values[key] = float(raw)
+        config = cls(**values)
+        config.validate()
+        return config
+
+    def describe(self) -> str:
+        if self.topology == "flat":
+            return "flat (point-to-point host<->device links)"
+        if self.topology == "single-switch":
+            return (
+                f"single-switch, {self.switch_latency_ns:g}ns/hop, "
+                f"{self.switch_port_bandwidth_gbs:g}GB/s shared device port"
+            )
+        return (
+            f"two-tier, {self.hosts_per_leaf} hosts/leaf, "
+            f"{self.switch_latency_ns:g}ns/hop, uplinks "
+            f"{self.uplink_bandwidth_gbs:g}GB/s, device port "
+            f"{self.switch_port_bandwidth_gbs:g}GB/s"
+        )
+
+
+@dataclass(frozen=True)
 class DirectoryConfig:
     """The device coherence directory on the CXL memory node."""
 
@@ -167,6 +294,16 @@ class FaultConfig:
     degrade_latency_x: float = 1.0  # multiplies one-way latency
     degrade_bandwidth_x: float = 1.0  # divides per-direction bandwidth
     degrade_hosts: Tuple[int, ...] = ()  # empty = every host's link
+    # -- degraded switch window (needs a non-flat fabric topology) ---------
+    #: Switch index whose shared segments run degraded; -1 disables.  Every
+    #: path traversing the switch (all hosts behind it) is slowed for the
+    #: window — unlike ``degrade_hosts`` this composes with the fabric
+    #: graph instead of naming edge links one by one.
+    switch_down: int = -1
+    switch_down_start_ns: float = 0.0
+    switch_down_end_ns: float = 0.0  # end <= start disables the window
+    switch_down_latency_x: float = 4.0  # multiplies per-hop latency
+    switch_down_bandwidth_x: float = 4.0  # divides shared-segment bandwidth
     # -- host pause/stall windows ------------------------------------------
     stall_period_ns: float = 0.0  # 0 disables stalls
     stall_duration_ns: float = 0.0
@@ -224,6 +361,13 @@ class FaultConfig:
             "crash_detect_ns": 5e3,
             "governor_hold_ns": 5e4,
         },
+        "switchdown": {
+            "switch_down": 0,
+            "switch_down_start_ns": 0.0,
+            "switch_down_end_ns": 1e12,
+            "switch_down_latency_x": 4.0,
+            "switch_down_bandwidth_x": 4.0,
+        },
         "hostdown-rejoin": {
             "crash_host": 1,
             "crash_at_ns": 2e5,
@@ -252,6 +396,17 @@ class FaultConfig:
         return self.crash_host >= 0 and self.crash_at_ns > 0
 
     @property
+    def has_switch_down(self) -> bool:
+        return (
+            self.switch_down >= 0
+            and self.switch_down_end_ns > self.switch_down_start_ns
+            and (
+                self.switch_down_latency_x > 1.0
+                or self.switch_down_bandwidth_x > 1.0
+            )
+        )
+
+    @property
     def idle(self) -> bool:
         """True when no fault source can ever fire (the zero plan)."""
         return (
@@ -260,6 +415,7 @@ class FaultConfig:
             and not self.has_stalls
             and not self.has_poison
             and not self.has_crash
+            and not self.has_switch_down
         )
 
     def validate(self) -> None:
@@ -278,6 +434,14 @@ class FaultConfig:
             )
         if self.rollback_sabotage_count < 0:
             raise ValueError("rollback_sabotage_count must be non-negative")
+        if self.switch_down < -1:
+            raise ValueError("switch_down must be -1 (off) or a switch index")
+        if self.switch_down_latency_x < 1.0 or (
+            self.switch_down_bandwidth_x < 1.0
+        ):
+            raise ValueError("switch_down multipliers must be >= 1")
+        if self.switch_down_start_ns < 0 or self.switch_down_end_ns < 0:
+            raise ValueError("switch_down window bounds must be non-negative")
         if self.crash_host < -1:
             raise ValueError("crash_host must be -1 (off) or a host index")
         if self.crash_at_ns < 0:
@@ -443,6 +607,9 @@ class SystemConfig:
         default_factory=lambda: DramConfig(128 * GB, 2, 38.4)
     )
     cxl_link: CxlLinkConfig = field(default_factory=CxlLinkConfig)
+    #: Fabric between the hosts' edge links and the memory node; the
+    #: default ``flat`` preset reproduces the point-to-point model exactly.
+    fabric: FabricConfig = field(default_factory=FabricConfig)
     directory: DirectoryConfig = field(default_factory=DirectoryConfig)
     pipm: PipmConfig = field(default_factory=PipmConfig)
     kernel: KernelMigrationConfig = field(default_factory=KernelMigrationConfig)
@@ -463,6 +630,7 @@ class SystemConfig:
             )
         self.l1.validate()
         self.llc.validate()
+        self.fabric.validate()
         if self.pipm.migration_threshold > self.pipm.global_counter_max:
             raise ValueError("migration threshold exceeds global counter range")
         if self.pipm.migration_threshold > self.pipm.local_counter_max:
@@ -486,6 +654,18 @@ class SystemConfig:
                 if self.num_hosts < 2:
                     raise ValueError(
                         "a host crash needs at least one surviving host"
+                    )
+            if self.faults.switch_down >= 0:
+                switches = self.fabric.num_switches(self.num_hosts)
+                if switches == 0:
+                    raise ValueError(
+                        "switch_down needs a non-flat fabric topology "
+                        "(the flat preset has no switches)"
+                    )
+                if self.faults.switch_down >= switches:
+                    raise ValueError(
+                        f"switch_down names switch {self.faults.switch_down},"
+                        f" the {self.fabric.topology} fabric has {switches}"
                     )
 
     def replace(self, **overrides: Any) -> "SystemConfig":
@@ -512,6 +692,7 @@ class SystemConfig:
         "local_dram": DramConfig,
         "cxl_dram": DramConfig,
         "cxl_link": CxlLinkConfig,
+        "fabric": FabricConfig,
         "directory": DirectoryConfig,
         "pipm": PipmConfig,
         "kernel": KernelMigrationConfig,
@@ -632,6 +813,25 @@ class SystemConfig:
         cfg.validate()
         return cfg
 
+    @classmethod
+    def rack(
+        cls,
+        num_hosts: int = 8,
+        topology: str = "single-switch",
+        size_scale: int = 1024,
+        time_scale: int = 500,
+    ) -> "SystemConfig":
+        """A rack-scale configuration: ``scaled()`` plus a switched fabric.
+
+        ``topology`` accepts anything :meth:`FabricConfig.parse` does, so
+        ``rack(16, "two-tier:hosts-per-leaf=4")`` works.
+        """
+        cfg = cls.scaled(
+            size_scale=size_scale, time_scale=time_scale, num_hosts=num_hosts
+        ).replace(fabric=FabricConfig.parse(topology))
+        cfg.validate()
+        return cfg
+
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, str]:
         """Human-readable description of the configuration (Table 2 rows)."""
@@ -662,6 +862,7 @@ class SystemConfig:
                 f"latency {self.cxl_link.latency_ns:g}ns, "
                 f"bandwidth {self.cxl_link.bandwidth_gbs:g}GB/s per direction"
             ),
+            "Fabric": self.fabric.describe(),
             "CXL Directory": (
                 f"{self.directory.sets}-set, {self.directory.ways}-way per slice, "
                 f"{self.directory.slices} slices, {self.directory.latency_ns:g}ns RT"

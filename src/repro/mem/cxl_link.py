@@ -51,7 +51,8 @@ class CxlLink:
     """One bidirectional host <-> CXL-node link."""
 
     __slots__ = ("config", "_busy_until", "_stats", "_faults", "_latency_ns",
-                 "_bw_bytes_ns", "_messages", "_bytes", "_queue_ns")
+                 "_bw_bytes_ns", "_messages", "_bytes", "_queue_ns",
+                 "_retries", "_giveups")
 
     def __init__(self, config: CxlLinkConfig, stats: Optional[ScopedStats] = None):
         self.config = config
@@ -62,14 +63,29 @@ class CxlLink:
         # transfer_ns(size, gbs) == size * 1e9 / (gbs * GB); hoist the
         # constant denominator so the fault-free path skips the helper.
         self._bw_bytes_ns = config.bandwidth_gbs * units.GB
+        self._bind_counters()
+
+    def _bind_counters(self) -> None:
+        """Preresolve the stat cells both timing paths bump.
+
+        With no registry attached the cells are detached :class:`Counter`
+        objects, so transfer accounting works identically either way — the
+        fault path used to skip counting entirely without a registry and
+        pay a string-key lookup with one.
+        """
+        stats = self._stats
         if stats is not None:
             self._messages = stats.counter("messages")
             self._bytes = stats.counter("bytes")
             self._queue_ns = stats.counter("queue_ns")
+            self._retries = stats.counter("retries")
+            self._giveups = stats.counter("giveups")
         else:
             self._messages = Counter()
             self._bytes = Counter()
             self._queue_ns = Counter()
+            self._retries = Counter()
+            self._giveups = Counter()
 
     def attach_faults(self, model) -> None:
         """Attach a per-link fault model (``None`` detaches)."""
@@ -131,10 +147,12 @@ class CxlLink:
         self._busy_until[direction] = (
             max(self._busy_until[direction], now) + serialization
         )
-        if self._stats is not None:
-            self._stats.add("messages")
-            self._stats.add("bytes", size_bytes)
-            self._stats.add("queue_ns", queue_delay)
+        # Bump the preresolved cells unconditionally, exactly like the
+        # fault-free path: transfers count the same whether or not a stats
+        # registry is attached and whether or not faults are configured.
+        self._messages.value += 1
+        self._bytes.value += size_bytes
+        self._queue_ns.value += queue_delay
         total = latency_ns + queue_delay + serialization
 
         if faults.error_rate > 0.0:
@@ -142,8 +160,7 @@ class CxlLink:
             while faults.draw_error():
                 if attempt >= faults.max_attempts:
                     faults.counters.link_giveups += 1
-                    if self._stats is not None:
-                        self._stats.add("giveups")
+                    self._giveups.value += 1
                     if faultable:
                         raise LinkTransferError(
                             faults.host, direction, size_bytes
@@ -156,12 +173,10 @@ class CxlLink:
                 # Retry: exponential backoff, then the wire time again.
                 backoff = faults.retry_backoff_ns * (2 ** (attempt - 1))
                 faults.counters.link_retries += 1
-                if self._stats is not None:
-                    self._stats.add("retries")
+                self._retries.value += 1
                 self._busy_until[direction] += serialization
-                if self._stats is not None:
-                    self._stats.add("messages")
-                    self._stats.add("bytes", size_bytes)
+                self._messages.value += 1
+                self._bytes.value += size_bytes
                 total += backoff + serialization
                 attempt += 1
         return total
@@ -231,15 +246,9 @@ class CxlLink:
         self._busy_until = [0.0, 0.0]
         if self._stats is not None:
             self._stats.clear()
-            # clear() drops the scope's keys from the registry; re-bind so
-            # post-reset traffic lands in live (fresh, zeroed) cells.
-            self._messages = self._stats.counter("messages")
-            self._bytes = self._stats.counter("bytes")
-            self._queue_ns = self._stats.counter("queue_ns")
-        else:
-            self._messages = Counter()
-            self._bytes = Counter()
-            self._queue_ns = Counter()
+        # clear() drops the scope's keys from the registry; re-bind so
+        # post-reset traffic lands in live (fresh, zeroed) cells.
+        self._bind_counters()
 
 
 #: Size of a bare coherence/control message on the link (header-only flit).

@@ -162,7 +162,8 @@ def _make_flat_path(system, host_id, stall_by_service):
     returns the host's new clock, or ``None`` when the access must go
     through the serialized slow path.  The factory itself returns ``None``
     when the system configuration rules the flat path out (active fault
-    disruption, HW-static PIPM, infinite remap caches, or any non-LRU
+    disruption, a switched fabric topology whose shared segments contend
+    across hosts, HW-static PIPM, infinite remap caches, or any non-LRU
     replacement policy: the inline paths replicate dict-order LRU).
 
     The closure replicates :meth:`MultiHostSystem.access` for every flow
@@ -199,6 +200,12 @@ def _make_flat_path(system, host_id, stall_by_service):
     """
     if system._faults_on:
         return None  # simcheck: bails[faults-active]
+    if system.paths[host_id] is not system.links[host_id]:
+        # Switched fabric: the path crosses shared segments that other
+        # hosts contend on at any moment (and that may run degraded under
+        # a switchdown window), so per-host flattening is unsound — every
+        # miss takes the serialized slow path.
+        return None  # simcheck: bails[switched-path]
     is_pipm = system._is_pipm
     is_page_map = system._is_page_map
     all_local = system.all_local

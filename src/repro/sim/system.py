@@ -38,9 +38,9 @@ from ..mem.cxl_link import (
     CONTROL_BYTES,
     TO_DEVICE,
     TO_HOST,
-    CxlLink,
     LinkTransferError,
 )
+from ..mem.fabric import FabricTopology
 from ..pipm.engine import PipmEngine
 from ..pipm.remap_global import NO_HOST
 from ..pipm.remap_local import LEAF_ENTRIES
@@ -96,10 +96,17 @@ class MultiHostSystem:
             Host(h, config, self.stats.scoped(f"host{h}"), workload_mlp)
             for h in range(config.num_hosts)
         ]
-        self.links = [
-            CxlLink(config.cxl_link, self.stats.scoped(f"link{h}"))
-            for h in range(config.num_hosts)
-        ]
+        # The fabric graph owns the per-host edge links and resolves each
+        # host's route to the memory node into a path object.  Under the
+        # flat preset ``paths[h] is links[h]`` (the bare CxlLink), so the
+        # default topology cannot perturb a float of the pre-fabric model;
+        # switched presets route through shared, contended segments and the
+        # vector backend's flat fast path stands down.
+        self.topology = FabricTopology(
+            config.fabric, config.cxl_link, config.num_hosts, self.stats
+        )
+        self.links = self.topology.links
+        self.paths = self.topology.paths  # simcheck: escalates[switched-path]
         self.device_dir = SlicedDirectory(
             config.directory.sets,
             config.directory.ways,
@@ -136,6 +143,17 @@ class MultiHostSystem:
                 mode=config.faults.watchdog_mode,
                 period_ns=config.faults.watchdog_period_ns,
             )
+            if config.faults.has_switch_down:
+                # Switch-level fault: every path traversing the named
+                # switch runs degraded for the window (validate() already
+                # required a non-flat fabric and a valid switch index).
+                self.topology.apply_switch_down(
+                    config.faults.switch_down,
+                    config.faults.switch_down_start_ns,
+                    config.faults.switch_down_end_ns,
+                    config.faults.switch_down_latency_x,
+                    config.faults.switch_down_bandwidth_x,
+                )
 
         frames_per_host = int(
             config.local_dram.capacity_bytes
@@ -383,8 +401,8 @@ class MultiHostSystem:
         with no other sharers), which decides whether a later write hit
         needs an upgrade transaction.
         """
-        link = self.links[host_id]
-        lat = link.round_trip(now, CONTROL_BYTES, _CACHE_LINE)
+        path = self.paths[host_id]
+        lat = path.round_trip(now, CONTROL_BYTES, _CACHE_LINE)
         lat += self._ddir_ns
         entry = self.device_dir.lookup(line)
         svc = _SVC_CXL
@@ -397,9 +415,9 @@ class MultiHostSystem:
         ):
             owner = entry.owner  # simcheck: escalates[dirty-owner-forward]
             # Forward to the owner; dirty data returns via the CXL node.
+            pair = self.topology.pair(host_id, owner)
             lat += (
-                self.links[owner].round_trip(now, CONTROL_BYTES,
-                                             _CACHE_LINE)
+                pair.owner.round_trip(now, CONTROL_BYTES, _CACHE_LINE)
                 + self._ldir_ns
                 + self._llc_ns
             )
@@ -457,12 +475,12 @@ class MultiHostSystem:
             dirty = self.hosts[holder].invalidate_line(victim.line)
             if dirty:
                 base = victim.line << _LINE_SHIFT
-                self.links[holder].transfer(TO_DEVICE, now, _CACHE_LINE)
+                self.paths[holder].transfer(TO_DEVICE, now, _CACHE_LINE)
                 self.cxl_mem.write_line(base, now)
 
     def _upgrade(self, host_id: int, line: int, now: float) -> float:
         """S -> M upgrade: invalidate other sharers through the device dir."""
-        lat = self.links[host_id].round_trip(now, CONTROL_BYTES, CONTROL_BYTES)
+        lat = self.paths[host_id].round_trip(now, CONTROL_BYTES, CONTROL_BYTES)
         lat += self._ddir_ns
         entry = self.device_dir.peek(line)
         if entry is not None:
@@ -482,13 +500,15 @@ class MultiHostSystem:
     ) -> Tuple[float, int]:
         owner_host = self.hosts[owner]
         line = addr >> _LINE_SHIFT
-        # Requester -> CXL node (routing by unified PA) -> owner -> back.
-        lat += self.links[host_id].round_trip(
+        # Requester -> CXL node (routing by unified PA) -> owner -> back,
+        # over the pair's two resolved fabric paths.
+        pair = self.topology.pair(host_id, owner)
+        lat += pair.requester.round_trip(
             now, CONTROL_BYTES,
             CONTROL_BYTES if is_write else _CACHE_LINE,
         )
         lat += self._ddir_ns  # RC routing at the CXL node
-        lat += self.links[owner].round_trip(
+        lat += pair.owner.round_trip(
             now,
             _CACHE_LINE if is_write else CONTROL_BYTES,
             _CACHE_LINE,
@@ -588,6 +608,7 @@ class MultiHostSystem:
             # transactional: snapshot first, roll back on a failed transfer
             # and degrade to a direct device access.
             txn = engine.begin_txn(current, page) if self._faults_on else None
+            pair = self.topology.pair(host_id, current)
             migrated, revoked = engine.inter_host_access(
                 current, page, line_in_page
             )
@@ -604,18 +625,18 @@ class MultiHostSystem:
                 owner_host = self.hosts[current]
                 try:
                     if txn is not None:
-                        owner_rtt = self.links[current].try_round_trip(
+                        owner_rtt = pair.owner.try_round_trip(
                             now, CONTROL_BYTES, units.CACHE_LINE
                         )
                     else:
-                        owner_rtt = self.links[current].round_trip(
+                        owner_rtt = pair.owner.round_trip(
                             now, CONTROL_BYTES, units.CACHE_LINE
                         )
                 except LinkTransferError as exc:
                     self._abort_migration(txn, exc)
                     aborted = True
                 if not aborted:
-                    lat += self.links[host_id].round_trip(
+                    lat += pair.requester.round_trip(
                         now, CONTROL_BYTES, units.CACHE_LINE
                     )
                     lat += self._ddir_ns
@@ -674,7 +695,7 @@ class MultiHostSystem:
             if self._faults_on:
                 self._bulk_transfer(owner, TO_DEVICE, size, now)  # may raise
             else:
-                self.links[owner].transfer(TO_DEVICE, now, size)
+                self.paths[owner].transfer(TO_DEVICE, now, size)
             self.transfer_ns += units.transfer_ns(
                 size, self.config.cxl_link.bandwidth_gbs
             )
@@ -700,7 +721,7 @@ class MultiHostSystem:
         Raises :class:`LinkTransferError` when the retry budget or the
         migration timeout runs out.
         """
-        link = self.links[host]
+        link = self.paths[host]
         timeout_ns = self.injector.migration_timeout_ns
         chunk = 16 * units.CACHE_LINE
         elapsed = 0.0
@@ -809,7 +830,7 @@ class MultiHostSystem:
                 return
 
         if victim.dirty:
-            self.links[host.host_id].transfer(TO_DEVICE, now, _CACHE_LINE)
+            self.paths[host.host_id].transfer(TO_DEVICE, now, _CACHE_LINE)
             self.cxl_mem.write_line(addr, now)
         # Update device directory bookkeeping.
         entry = self.device_dir.peek(line)
@@ -937,7 +958,7 @@ class MultiHostSystem:
         if self._faults_on:
             self._bulk_transfer(host, direction, units.PAGE_SIZE, now)
         else:
-            self.links[host].transfer(direction, now, units.PAGE_SIZE)
+            self.paths[host].transfer(direction, now, units.PAGE_SIZE)
         self.transfer_ns += units.transfer_ns(
             units.PAGE_SIZE, self.config.cxl_link.bandwidth_gbs
         )

@@ -10,6 +10,14 @@ or drops accumulated events — silently.  Two statically catchable shapes:
   ``.put(...)`` on the same receiver in one module;
 * ``STAT002`` — a read-modify-write ``.put(k, ....get(k...) + ...)``,
   i.e. a counter implemented with gauge semantics (lost on merge).
+* ``STAT003`` — a string-key ``.add(...)`` in a module that also binds
+  preresolved counter cells via ``.counter(...)``.  The PR 5 migration
+  moved hot-loop accounting onto cells (``cell.value += x``); a stray
+  string-key ``add`` in such a module is almost always a forked code
+  path (fault path vs. fast path) that re-resolves the key per event —
+  and, guarded by ``if stats is not None``, silently diverges from the
+  cell path when no registry is attached.  Route the write through the
+  already-bound cell instead.
 """
 
 from __future__ import annotations
@@ -64,6 +72,51 @@ class MixedStatKindRule(Rule):
                     f"(counter) and put() (gauge); merge() semantics "
                     f"differ, pick one",
                 )
+
+
+def _counter_bind_receivers(tree: ast.AST) -> set:
+    """Receivers that preresolve cells via ``.counter("key")`` calls."""
+    receivers = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "counter"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            receivers.add(unparse(node.func.value))
+    return receivers
+
+
+@register
+class StringKeyAddBypassesCellsRule(Rule):
+    id = "STAT003"
+    title = "string-key add() in a module with preresolved counter cells"
+    scopes = ("src", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        bind_receivers = _counter_bind_receivers(ctx.tree)
+        if not bind_receivers:
+            return
+        for op, receiver, key, call in _registry_calls(ctx.tree):
+            if op != "add":
+                continue
+            # Only registry-shaped receivers: the exact receivers that
+            # bind cells, or anything stats-named.  Keeps ``set.add`` and
+            # friends out of scope.
+            if receiver not in bind_receivers and "stats" not in receiver.lower():
+                continue
+            yield ctx.finding(
+                self.id,
+                call,
+                f"{receiver}: string-key add({key!r}) in a module that "
+                f"preresolves counter cells via counter(); per-event "
+                f"key lookups fork the accounting path (and a "
+                f"None-registry guard drops the events) — bump the "
+                f"bound cell instead",
+            )
 
 
 @register

@@ -14,7 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..config import FaultConfig, SystemConfig
+from ..config import FabricConfig, FaultConfig, SystemConfig
 from ..workloads.trace import WorkloadScale
 from .spec import ExperimentSpec
 
@@ -37,6 +37,9 @@ THRESHOLDS = [2, 4, 8, 15]
 #: Resilience presets (bench_resilience.py) with its deterministic seed.
 FAULT_PRESETS = ["none", "flaky", "degraded"]
 FAULT_OVERRIDES = "seed=7,watchdog-period-ns=200000"
+#: Fabric presets and rack sizes (bench_topology.py).
+TOPOLOGY_PRESETS = ["flat", "single-switch", "two-tier"]
+TOPOLOGY_HOSTS = [4, 8, 16, 32]
 
 #: Variant name -> builder; ``base`` must stay first (baseline runs).
 VARIANTS = (
@@ -48,6 +51,7 @@ VARIANTS = (
     "global-remap",
     "intervals",
     "faults",
+    "topology",
 )
 
 
@@ -169,6 +173,21 @@ def _faults(workloads, _schemes, scale) -> List[ExperimentSpec]:
     return specs
 
 
+def _topology(workloads, _schemes, scale) -> List[ExperimentSpec]:
+    specs = []
+    for preset in TOPOLOGY_PRESETS:
+        fabric = FabricConfig.parse(preset)
+        for hosts in TOPOLOGY_HOSTS:
+            config = dataclasses.replace(
+                SystemConfig.scaled(num_hosts=hosts), fabric=fabric
+            )
+            for w in workloads:
+                for s in ("native", "memtis", "pipm"):
+                    specs.append(ExperimentSpec.build(w, s, config=config,
+                                                      scale=scale))
+    return specs
+
+
 _BUILDERS = {
     "base": _base,
     "link-latency": _link_latency,
@@ -178,6 +197,7 @@ _BUILDERS = {
     "global-remap": _global_remap,
     "intervals": _intervals,
     "faults": _faults,
+    "topology": _topology,
 }
 
 #: Variants that sweep a sensitivity knob (restricted workload subset).

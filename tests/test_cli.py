@@ -171,7 +171,7 @@ class TestCliCommands:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "ORD001", "UNIT001", "STAT001",
-                        "MUT001", "PROTO001", "PROTO004"):
+                        "STAT003", "MUT001", "PROTO001", "PROTO004"):
             assert rule_id in out
 
     def test_lint_flags_fresh_findings(self, capsys, tmp_path):

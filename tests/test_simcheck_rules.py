@@ -241,6 +241,36 @@ class TestStatsRules:
         """)
         assert _rules(findings) == ["STAT002"]
 
+    def test_string_add_with_preresolved_cells(self):
+        findings = _lint("""
+            class Link:
+                def __init__(self, stats):
+                    self._stats = stats
+                    self._messages = stats.counter("messages")
+
+                def slow_path(self, n):
+                    if self._stats is not None:
+                        self._stats.add("messages", n)
+        """)
+        assert _rules(findings) == ["STAT003"]
+        assert "messages" in findings[0].message
+
+    def test_string_add_without_cells_fine(self):
+        findings = _lint("""
+            def record(stats, n):
+                stats.add("sweep.runs", n)
+        """)
+        assert findings == []
+
+    def test_set_add_not_flagged(self):
+        findings = _lint("""
+            def track(stats, seen, key):
+                cell = stats.counter("messages")
+                seen.add("messages")
+                return cell
+        """)
+        assert findings == []
+
 
 class TestMutableDefaults:
     def test_function_default(self):
